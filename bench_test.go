@@ -1,0 +1,90 @@
+package checkpointsim
+
+// One benchmark per reproduction experiment (see DESIGN.md §4). Each runs
+// the corresponding experiment in Quick mode; `go test -bench . -benchmem`
+// regenerates every table, and `cmd/sweep` prints the full-scale versions.
+
+import (
+	"testing"
+
+	"checkpointsim/internal/exp"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	o := exp.DefaultOptions()
+	o.Quick = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkE1Validation(b *testing.B)    { benchExperiment(b, "E1") }
+func BenchmarkE2Propagation(b *testing.B)   { benchExperiment(b, "E2") }
+func BenchmarkE3Coordination(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4WeakScaling(b *testing.B)   { benchExperiment(b, "E4") }
+func BenchmarkE5Logging(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6Interval(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7Recovery(b *testing.B)      { benchExperiment(b, "E7") }
+func BenchmarkE8Crossover(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkE9Stagger(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10Hierarchical(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11NonBlocking(b *testing.B)  { benchExperiment(b, "E11") }
+func BenchmarkE12Partner(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13Straggler(b *testing.B)    { benchExperiment(b, "E13") }
+func BenchmarkE14Fabric(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkE15Resonance(b *testing.B)    { benchExperiment(b, "E15") }
+func BenchmarkE16TwoLevel(b *testing.B)     { benchExperiment(b, "E16") }
+
+// BenchmarkEngineThroughput measures raw simulator speed: events per second
+// on a communication-heavy workload, reported as time per full run.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Run(RunConfig{
+			Workload:   "stencil2d",
+			Ranks:      64,
+			Iterations: 20,
+			Compute:    Millisecond,
+			MsgBytes:   4096,
+			Seed:       1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Events), "events/run")
+	}
+}
+
+// BenchmarkProtocolOverhead measures the cost of attaching the coordinated
+// protocol relative to BenchmarkEngineThroughput's bare run.
+func BenchmarkProtocolOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Run(RunConfig{
+			Workload:   "stencil2d",
+			Ranks:      64,
+			Iterations: 20,
+			Compute:    Millisecond,
+			MsgBytes:   4096,
+			Protocol: ProtocolConfig{
+				Kind:     ProtoCoordinated,
+				Interval: 5 * Millisecond,
+				Write:    500 * Microsecond,
+			},
+			Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+// Package checkpointsim is a simulation framework for studying the effects
+// of communication and coordination on checkpointing at scale.
+//
+// It reproduces the system behind Ferreira, Widener, Levy, Arnold and
+// Hoefler's SC 2014 study: a LogGOPS discrete-event simulator that executes
+// message-passing applications expressed as GOAL dependency graphs, with
+// checkpointing protocols (coordinated, uncoordinated with message logging,
+// and hierarchical), OS-noise injection, node-failure injection with two
+// recovery disciplines, and the Young/Daly analytic models as baselines.
+//
+// # Quick start
+//
+//	res, err := checkpointsim.Run(checkpointsim.RunConfig{
+//	    Workload:   "stencil2d",
+//	    Ranks:      64,
+//	    Iterations: 100,
+//	    Compute:    checkpointsim.Millisecond,
+//	    MsgBytes:   4096,
+//	    Protocol: checkpointsim.ProtocolConfig{
+//	        Kind:     checkpointsim.ProtoCoordinated,
+//	        Interval: 10 * checkpointsim.Millisecond,
+//	        Write:    checkpointsim.Millisecond,
+//	    },
+//	})
+//
+// The lower-level pieces — goal.Builder graphs, collective generators, the
+// sim engine, protocol agents — are exposed through type aliases below for
+// users who need full control; see the examples/ directory.
+package checkpointsim
+
+import (
+	"fmt"
+
+	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/failure"
+	"checkpointsim/internal/goal"
+	"checkpointsim/internal/network"
+	"checkpointsim/internal/noise"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/workload"
+)
+
+// Re-exported time types and units.
+type (
+	// Time is an absolute simulated time in integer nanoseconds.
+	Time = simtime.Time
+	// Duration is a simulated time span in integer nanoseconds.
+	Duration = simtime.Duration
+)
+
+// Common durations.
+const (
+	Nanosecond  = simtime.Nanosecond
+	Microsecond = simtime.Microsecond
+	Millisecond = simtime.Millisecond
+	Second      = simtime.Second
+	Minute      = simtime.Minute
+	Hour        = simtime.Hour
+	Day         = simtime.Day
+	Year        = simtime.Year
+)
+
+// Core building blocks, aliased from their implementation packages.
+type (
+	// NetworkParams is the LogGOPS parameter set (L, o, g, G, O, S).
+	NetworkParams = network.Params
+	// Program is an immutable GOAL dependency graph.
+	Program = goal.Program
+	// Builder constructs Programs operation by operation.
+	Builder = goal.Builder
+	// Engine executes one simulation.
+	Engine = sim.Engine
+	// SimConfig configures an Engine.
+	SimConfig = sim.Config
+	// Result summarizes a completed simulation.
+	Result = sim.Result
+	// Agent is a protocol component attached to a simulation.
+	Agent = sim.Agent
+	// Protocol is a checkpointing strategy.
+	Protocol = checkpoint.Protocol
+	// CheckpointParams are the protocol knobs (interval, write cost).
+	CheckpointParams = checkpoint.Params
+	// LogParams configure sender-based message logging.
+	LogParams = checkpoint.LogParams
+	// NoiseConfig configures OS-noise injection.
+	NoiseConfig = noise.Config
+	// FailureConfig configures failure injection and recovery.
+	FailureConfig = failure.Config
+	// NonBlockingParams extend CheckpointParams for asynchronous writes.
+	NonBlockingParams = checkpoint.NonBlockingParams
+	// PartnerParams configure diskless buddy checkpointing.
+	PartnerParams = checkpoint.PartnerParams
+	// IncrementalParams configure incremental writes.
+	IncrementalParams = checkpoint.IncrementalParams
+	// TwoLevelParams configure multilevel (SCR/FTI-class) checkpointing.
+	TwoLevelParams = checkpoint.TwoLevelParams
+	// TraceEvent is one CPU-occupancy record (see SimConfig.Trace).
+	TraceEvent = sim.TraceEvent
+	// RecoveryKind selects the failure-recovery discipline.
+	RecoveryKind = failure.RecoveryKind
+	// FailureEvent records one injected failure.
+	FailureEvent = failure.Event
+)
+
+// Recovery disciplines for FailureConfig.Kind.
+const (
+	// RecoverGlobal rolls the whole machine back to the last global line.
+	RecoverGlobal = failure.RollbackGlobal
+	// RecoverLocal replays only the failed rank from message logs.
+	RecoverLocal = failure.ReplayLocal
+	// RecoverCluster rolls back the failed rank's cluster (hierarchical).
+	RecoverCluster = failure.RollbackCluster
+	// RecoverTwoLevel dispatches on failure severity between the local and
+	// global levels of a two-level protocol.
+	RecoverTwoLevel = failure.RecoverTwoLevel
+)
+
+// DefaultNetwork returns the InfiniBand-class LogGOPS parameters used
+// throughout the experiments.
+func DefaultNetwork() NetworkParams { return network.DefaultParams() }
+
+// NewCoordinated builds the globally coordinated protocol.
+func NewCoordinated(p CheckpointParams) (Protocol, error) {
+	return checkpoint.NewCoordinated(p)
+}
+
+// NewUncoordinated builds the uncoordinated protocol with the named offset
+// policy ("aligned", "staggered", or "random") and logging tax.
+func NewUncoordinated(p CheckpointParams, offset string, log LogParams) (Protocol, error) {
+	pol, err := checkpoint.ParseOffsetPolicy(offset)
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.NewUncoordinated(p, pol, log)
+}
+
+// NewHierarchical builds the hybrid protocol with the given cluster size.
+func NewHierarchical(p CheckpointParams, clusterSize int, log LogParams) (Protocol, error) {
+	return checkpoint.NewHierarchical(p, clusterSize, log)
+}
+
+// NewNonBlockingCoordinated builds the asynchronous (copy-on-write)
+// coordinated protocol.
+func NewNonBlockingCoordinated(p NonBlockingParams) (Protocol, error) {
+	return checkpoint.NewNonBlockingCoordinated(p)
+}
+
+// NewPartnerProtocol builds diskless partner (buddy) checkpointing.
+func NewPartnerProtocol(p PartnerParams) (Protocol, error) {
+	return checkpoint.NewPartner(p)
+}
+
+// NewTwoLevelProtocol builds multilevel (SCR/FTI-class) checkpointing.
+func NewTwoLevelProtocol(p TwoLevelParams) (Protocol, error) {
+	return checkpoint.NewTwoLevel(p)
+}
+
+// NewUncoordinatedIncremental builds the uncoordinated protocol with
+// incremental writes.
+func NewUncoordinatedIncremental(p CheckpointParams, offset string, log LogParams,
+	inc IncrementalParams) (Protocol, error) {
+	pol, err := checkpoint.ParseOffsetPolicy(offset)
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.NewUncoordinatedIncremental(p, pol, log, inc)
+}
+
+// CriticalPath computes the contention-free longest path through a program
+// under the given network parameters — a lower bound on any simulated
+// makespan, with the binding dependency chain.
+func CriticalPath(p *Program, net NetworkParams) (Duration, []OpID) {
+	return goal.CriticalPath(p, net)
+}
+
+// NewBuilder starts a program graph over the given number of ranks.
+func NewBuilder(numRanks int) *Builder { return goal.NewBuilder(numRanks) }
+
+// NewEngine validates a configuration and builds a simulation engine.
+func NewEngine(cfg SimConfig) (*Engine, error) { return sim.New(cfg) }
+
+// ProtoKind selects a checkpointing protocol in RunConfig.
+type ProtoKind string
+
+// Protocol kinds.
+const (
+	ProtoNone          ProtoKind = "none"
+	ProtoCoordinated   ProtoKind = "coordinated"
+	ProtoUncoordinated ProtoKind = "uncoordinated"
+	ProtoHierarchical  ProtoKind = "hierarchical"
+	ProtoNonBlocking   ProtoKind = "nonblocking"
+	ProtoPartner       ProtoKind = "partner"
+	ProtoTwoLevel      ProtoKind = "twolevel"
+)
+
+// ProtocolConfig describes the checkpointing strategy of a Run.
+type ProtocolConfig struct {
+	// Kind selects the protocol (default ProtoNone).
+	Kind ProtoKind
+	// Interval is the checkpoint interval τ.
+	Interval Duration
+	// Write is the per-rank checkpoint write time δ.
+	Write Duration
+	// Offset selects the uncoordinated timer policy: "aligned",
+	// "staggered" (default), or "random".
+	Offset string
+	// Logging is the sender-based message-logging tax (uncoordinated and
+	// hierarchical protocols).
+	Logging LogParams
+	// ClusterSize is the hierarchical protocol's cluster size.
+	ClusterSize int
+	// Incremental, when FullEvery > 1, switches the uncoordinated protocol
+	// to incremental writes.
+	Incremental IncrementalParams
+	// Window and Slowdown configure the non-blocking protocol's background
+	// write (ProtoNonBlocking).
+	Window   Duration
+	Slowdown float64
+	// CkptBytes is the image size shipped by the partner protocol
+	// (ProtoPartner); Write is reused as its serialize time.
+	CkptBytes int64
+	// TwoLevel configures ProtoTwoLevel (Interval/Write above are ignored
+	// for that kind).
+	TwoLevel TwoLevelParams
+}
+
+// build constructs the configured protocol.
+func (pc ProtocolConfig) build() (checkpoint.Protocol, error) {
+	params := checkpoint.Params{Interval: pc.Interval, Write: pc.Write}
+	switch pc.Kind {
+	case "", ProtoNone:
+		return checkpoint.None{}, nil
+	case ProtoCoordinated:
+		return checkpoint.NewCoordinated(params)
+	case ProtoUncoordinated:
+		off := checkpoint.Staggered
+		if pc.Offset != "" {
+			var err error
+			off, err = checkpoint.ParseOffsetPolicy(pc.Offset)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if pc.Incremental.FullEvery > 1 {
+			return checkpoint.NewUncoordinatedIncremental(params, off, pc.Logging, pc.Incremental)
+		}
+		return checkpoint.NewUncoordinated(params, off, pc.Logging)
+	case ProtoHierarchical:
+		return checkpoint.NewHierarchical(params, pc.ClusterSize, pc.Logging)
+	case ProtoNonBlocking:
+		return checkpoint.NewNonBlockingCoordinated(checkpoint.NonBlockingParams{
+			Params: params, Window: pc.Window, Slowdown: pc.Slowdown})
+	case ProtoTwoLevel:
+		return checkpoint.NewTwoLevel(pc.TwoLevel)
+	case ProtoPartner:
+		off := checkpoint.Staggered
+		if pc.Offset != "" {
+			var err error
+			off, err = checkpoint.ParseOffsetPolicy(pc.Offset)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return checkpoint.NewPartner(checkpoint.PartnerParams{
+			Interval:      pc.Interval,
+			SerializeTime: pc.Write,
+			CkptBytes:     pc.CkptBytes,
+			Offsets:       off,
+		})
+	}
+	return nil, fmt.Errorf("checkpointsim: unknown protocol kind %q", pc.Kind)
+}
+
+// RunConfig is the one-call configuration for a complete study point.
+type RunConfig struct {
+	// Workload names a built-in generator: one of Workloads().
+	Workload string
+	// Ranks is the number of MPI ranks.
+	Ranks int
+	// Iterations is the number of outer timesteps.
+	Iterations int
+	// Compute is the mean per-rank computation per iteration.
+	Compute Duration
+	// Jitter is the relative stddev of per-iteration compute (0 = none).
+	Jitter float64
+	// MsgBytes is the dominant message size of the workload.
+	MsgBytes int64
+	// Net is the LogGOPS parameter set (zero value = DefaultNetwork()).
+	Net NetworkParams
+	// Protocol selects and configures checkpointing.
+	Protocol ProtocolConfig
+	// Noise, if non-nil, injects OS noise.
+	Noise *NoiseConfig
+	// Failures, if non-nil, injects failures with the configured recovery.
+	Failures *FailureConfig
+	// Trace, when non-nil, receives one record per completed CPU job (see
+	// SimConfig.Trace).
+	Trace func(TraceEvent)
+	// Seed makes the run reproducible; equal configs and seeds give
+	// bit-identical results.
+	Seed uint64
+	// MaxTime aborts runs whose virtual time exceeds this (0 = unlimited);
+	// useful with failure rates the machine cannot outrun.
+	MaxTime Time
+}
+
+// RunResult bundles the simulation result with the protocol and injector
+// state of a Run.
+type RunResult struct {
+	*Result
+	// Protocol is the protocol instance, exposing Stats and recovery lines.
+	Protocol Protocol
+	// FailureEvents holds the injected failures (nil without Failures).
+	FailureEvents []failure.Event
+}
+
+// Workloads returns the names accepted by RunConfig.Workload.
+func Workloads() []string { return workload.Names() }
+
+// DescribeWorkload returns a one-line description of a workload name.
+func DescribeWorkload(name string) string { return workload.Describe(name) }
+
+// Run executes one study point end to end: build the workload, attach the
+// protocol and injectors, simulate, and return the results.
+func Run(cfg RunConfig) (*RunResult, error) {
+	net := cfg.Net
+	if (net == NetworkParams{}) {
+		net = DefaultNetwork()
+	}
+	prog, err := workload.FromName(cfg.Workload, workload.CommonConfig{
+		Base: workload.Base{
+			Ranks:      cfg.Ranks,
+			Iterations: cfg.Iterations,
+			Compute:    cfg.Compute,
+			Jitter:     cfg.Jitter,
+			Seed:       cfg.Seed,
+		},
+		Bytes: cfg.MsgBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	proto, err := cfg.Protocol.build()
+	if err != nil {
+		return nil, err
+	}
+	agents := []sim.Agent{proto}
+	if cfg.Noise != nil {
+		inj, err := noise.NewInjector(*cfg.Noise)
+		if err != nil {
+			return nil, err
+		}
+		agents = append(agents, inj)
+	}
+	var finj *failure.Injector
+	if cfg.Failures != nil {
+		finj, err = failure.NewInjector(*cfg.Failures, proto)
+		if err != nil {
+			return nil, err
+		}
+		agents = append(agents, finj)
+	}
+	eng, err := sim.New(sim.Config{
+		Net:     net,
+		Program: prog,
+		Agents:  agents,
+		Seed:    cfg.Seed,
+		MaxTime: cfg.MaxTime,
+		Trace:   cfg.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &RunResult{Result: res, Protocol: proto}
+	if finj != nil {
+		out.FailureEvents = finj.Events()
+	}
+	return out, nil
+}

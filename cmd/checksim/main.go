@@ -1,0 +1,276 @@
+// Command checksim runs a single checkpointing simulation and prints its
+// results.
+//
+// Usage:
+//
+//	checksim -workload stencil2d -ranks 64 -iters 100 -compute 1ms \
+//	         -bytes 4096 -protocol coordinated -interval 10ms -write 1ms
+//
+// Failure injection:
+//
+//	checksim -workload cg -ranks 64 -protocol uncoordinated -offset staggered \
+//	         -interval 10ms -write 1ms -log-alpha 1us -log-beta 0.2 \
+//	         -mtbf 4s -restart 2ms -recovery local
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"checkpointsim"
+	"checkpointsim/internal/failure"
+	"checkpointsim/internal/network"
+	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/timeline"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "checksim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("checksim", flag.ContinueOnError)
+	var (
+		workloadName = fs.String("workload", "stencil2d", "workload name (-list to enumerate)")
+		list         = fs.Bool("list", false, "list workloads and exit")
+		ranks        = fs.Int("ranks", 64, "number of ranks")
+		iters        = fs.Int("iters", 50, "iterations")
+		compute      = fs.String("compute", "1ms", "mean per-iteration compute")
+		jitter       = fs.Float64("jitter", 0, "relative compute jitter (stddev fraction)")
+		bytes        = fs.Int64("bytes", 4096, "dominant message size")
+		protocol     = fs.String("protocol", "none", "none|coordinated|uncoordinated|hierarchical|nonblocking|partner|twolevel")
+		interval     = fs.String("interval", "10ms", "checkpoint interval")
+		write        = fs.String("write", "1ms", "checkpoint write time")
+		offset       = fs.String("offset", "staggered", "uncoordinated offsets: aligned|staggered|random")
+		cluster      = fs.Int("cluster", 8, "hierarchical cluster size")
+		window       = fs.String("window", "4ms", "nonblocking: background write window")
+		slowdown     = fs.Float64("slowdown", 1.25, "nonblocking: interference factor during the window")
+		ckptBytes    = fs.Int64("ckpt-bytes", 1<<20, "partner: checkpoint image size")
+		localIv      = fs.String("local-interval", "2ms", "twolevel: local checkpoint interval")
+		localWr      = fs.String("local-write", "100us", "twolevel: local write time")
+		incrEvery    = fs.Int("incr-every", 0, "uncoordinated: every k-th write is full, others incremental (0 = off)")
+		incrFrac     = fs.Float64("incr-fraction", 0.25, "uncoordinated: incremental write fraction of full")
+		logAlpha     = fs.String("log-alpha", "0", "per-message logging CPU cost")
+		logBeta      = fs.Float64("log-beta", 0, "per-byte logging cost (ns/B)")
+		noisePeriod  = fs.String("noise-period", "", "noise period (empty = no noise)")
+		noiseDur     = fs.String("noise-duration", "25us", "noise event duration")
+		mtbf         = fs.String("mtbf", "", "per-node MTBF (empty = no failures)")
+		restart      = fs.String("restart", "1ms", "failure restart cost")
+		recovery     = fs.String("recovery", "global", "failure recovery: global|local")
+		seed         = fs.Uint64("seed", 42, "random seed")
+		maxTime      = fs.String("max-time", "0", "abort after this much virtual time (0 = unlimited)")
+		netPreset    = fs.String("net", "default", "network preset: default|capability|ethernet")
+		bisection    = fs.Float64("bisection", 0, "bisection bandwidth in GB/s (0 = unconstrained)")
+		timelineCSV  = fs.String("timeline", "", "write a per-job CPU timeline CSV to this file")
+		gantt        = fs.Bool("gantt", false, "print an ASCII Gantt chart and utilization summary")
+		ganttWidth   = fs.Int("gantt-width", 100, "Gantt chart width in columns")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, w := range checkpointsim.Workloads() {
+			fmt.Fprintf(out, "%-12s %s\n", w, checkpointsim.DescribeWorkload(w))
+		}
+		return nil
+	}
+
+	parse := func(s string) (simtime.Duration, error) { return simtime.ParseDuration(s) }
+	comp, err := parse(*compute)
+	if err != nil {
+		return err
+	}
+	iv, err := parse(*interval)
+	if err != nil {
+		return err
+	}
+	wr, err := parse(*write)
+	if err != nil {
+		return err
+	}
+	la, err := parse(*logAlpha)
+	if err != nil {
+		return err
+	}
+	mt, err := parse(*maxTime)
+	if err != nil {
+		return err
+	}
+	win, err := parse(*window)
+	if err != nil {
+		return err
+	}
+	liv, err := parse(*localIv)
+	if err != nil {
+		return err
+	}
+	lwr, err := parse(*localWr)
+	if err != nil {
+		return err
+	}
+
+	var netParams checkpointsim.NetworkParams
+	switch *netPreset {
+	case "default":
+		netParams = network.DefaultParams()
+	case "capability":
+		netParams = network.CapabilityClassParams()
+	case "ethernet":
+		netParams = network.EthernetClassParams()
+	default:
+		return fmt.Errorf("unknown network preset %q", *netPreset)
+	}
+	if *bisection < 0 {
+		return fmt.Errorf("negative bisection bandwidth")
+	}
+	netParams.BisectionBytesPerSec = *bisection * 1e9
+
+	cfg := checkpointsim.RunConfig{
+		Workload:   *workloadName,
+		Net:        netParams,
+		Ranks:      *ranks,
+		Iterations: *iters,
+		Compute:    comp,
+		Jitter:     *jitter,
+		MsgBytes:   *bytes,
+		Protocol: checkpointsim.ProtocolConfig{
+			Kind:        checkpointsim.ProtoKind(*protocol),
+			Interval:    iv,
+			Write:       wr,
+			Offset:      *offset,
+			Logging:     checkpointsim.LogParams{Alpha: la, BetaNsPerByte: *logBeta},
+			ClusterSize: *cluster,
+			Window:      win,
+			Slowdown:    *slowdown,
+			CkptBytes:   *ckptBytes,
+			TwoLevel: checkpointsim.TwoLevelParams{
+				LocalInterval:  liv,
+				LocalWrite:     lwr,
+				GlobalInterval: iv,
+				GlobalWrite:    wr,
+			},
+			Incremental: checkpointsim.IncrementalParams{
+				FullEvery: *incrEvery,
+				Fraction:  *incrFrac,
+			},
+		},
+		Seed:    *seed,
+		MaxTime: simtime.Time(mt),
+	}
+	var timelineRows [][]string
+	col := timeline.NewCollector()
+	if *timelineCSV != "" || *gantt {
+		cfg.Trace = func(ev checkpointsim.TraceEvent) {
+			col.Add(ev)
+			if *timelineCSV != "" {
+				timelineRows = append(timelineRows, []string{
+					strconv.Itoa(ev.Rank), ev.Kind,
+					strconv.FormatInt(int64(ev.Start), 10),
+					strconv.FormatInt(int64(ev.End), 10),
+				})
+			}
+		}
+	}
+	if *noisePeriod != "" {
+		np, err := parse(*noisePeriod)
+		if err != nil {
+			return err
+		}
+		nd, err := parse(*noiseDur)
+		if err != nil {
+			return err
+		}
+		cfg.Noise = &checkpointsim.NoiseConfig{Period: np, Duration: nd}
+	}
+	if *mtbf != "" {
+		m, err := parse(*mtbf)
+		if err != nil {
+			return err
+		}
+		rs, err := parse(*restart)
+		if err != nil {
+			return err
+		}
+		kind := failure.RollbackGlobal
+		if *recovery == "local" {
+			kind = failure.ReplayLocal
+		} else if *recovery != "global" {
+			return fmt.Errorf("unknown recovery %q", *recovery)
+		}
+		cfg.Failures = &checkpointsim.FailureConfig{MTBF: m, Restart: rs, Kind: kind}
+	}
+
+	res, err := checkpointsim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "workload:  %s on %d ranks, %d iterations\n", *workloadName, *ranks, *iters)
+	fmt.Fprintf(out, "protocol:  %s\n", res.Protocol.Name())
+	fmt.Fprint(out, res.Result)
+	st := res.Protocol.Stats()
+	if st.Writes > 0 {
+		fmt.Fprintf(out, "checkpoints: %d writes", st.Writes)
+		if st.Rounds > 0 {
+			fmt.Fprintf(out, ", %d rounds (quiesce %v/round, span %v/round)",
+				st.Rounds,
+				st.CoordDelay/simtime.Duration(st.Rounds),
+				st.RoundSpan/simtime.Duration(st.Rounds))
+		}
+		fmt.Fprintln(out)
+	}
+	if st.LoggedMessages > 0 {
+		fmt.Fprintf(out, "logging:   %d messages, %.1f MiB, %v CPU\n",
+			st.LoggedMessages, float64(st.LoggedBytes)/(1<<20), st.LogPenalty)
+	}
+	if n := len(res.FailureEvents); n > 0 {
+		fmt.Fprintf(out, "failures:  %d\n", n)
+		for i, ev := range res.FailureEvents {
+			if i >= 10 {
+				fmt.Fprintf(out, "  ... %d more\n", n-10)
+				break
+			}
+			fmt.Fprintf(out, "  t=%v rank=%d lost=%v recovery=%v\n",
+				simtime.Duration(ev.Time), ev.Rank, ev.LostWork, ev.Recovery)
+		}
+	}
+	// Per-rank spread of finish times (synchronization skew).
+	fins := append([]simtime.Time(nil), res.RankFinish...)
+	sort.Slice(fins, func(i, j int) bool { return fins[i] < fins[j] })
+	if len(fins) > 1 {
+		fmt.Fprintf(out, "finish skew: first %v, last %v (spread %v)\n",
+			simtime.Duration(fins[0]), simtime.Duration(fins[len(fins)-1]),
+			fins[len(fins)-1].Sub(fins[0]))
+	}
+	if *gantt {
+		col.PrintSummary(out, res.Makespan)
+		col.Gantt(out, *ganttWidth, res.Makespan, 32)
+	}
+	if *timelineCSV != "" {
+		f, err := os.Create(*timelineCSV)
+		if err != nil {
+			return err
+		}
+		cw := csv.NewWriter(f)
+		if err := cw.Write([]string{"rank", "kind", "start_ns", "end_ns"}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := cw.WriteAll(timelineRows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "timeline:  %d records -> %s\n", len(timelineRows), *timelineCSV)
+	}
+	return nil
+}

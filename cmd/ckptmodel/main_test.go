@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSinglePoint(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-write", "60s", "-mtbf", "5y", "-nodes", "1024"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"τ_Young", "τ_Daly", "efficiency:", "model winner:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweep(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-sweep-nodes", "1024:8192"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"1024", "2048", "4096", "8192", "efficiency vs P", "coordinated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := [][]string{
+		{"-write", "bogus"},
+		{"-restart", "bogus"},
+		{"-mtbf", "bogus"},
+		{"-sweep-nodes", "not-a-range"},
+		{"-sweep-nodes", "100:10"},
+		{"-sweep-nodes", "0:10"},
+	}
+	for _, c := range cases {
+		if err := run(c, &sb); err == nil {
+			t.Errorf("args %v accepted", c)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadInspection(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-workload", "sweep", "-ranks", "9", "-iters", "1", "-simulate"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ranks=9", "balance: ok", "critical path:", "simulated makespan:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTAndTextOutput(t *testing.T) {
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "g.dot")
+	var sb strings.Builder
+	err := run([]string{"-workload", "cg", "-ranks", "4", "-iters", "1",
+		"-dot", dot, "-text"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph program") {
+		t.Error("DOT output malformed")
+	}
+	if !strings.Contains(sb.String(), "num_ranks 4") {
+		t.Error("GOAL text missing")
+	}
+}
+
+func TestGoalFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.goal")
+	text := `num_ranks 2
+rank 0 {
+  a: calc 1ms
+  b: send 64b to 1 tag 0
+  b requires a
+}
+rank 1 {
+  c: recv 64b from 0 tag 0
+}
+`
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-simulate"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ops=3") {
+		t.Errorf("parsed program wrong:\n%s", sb.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent.goal"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-workload", "bogus"}, &sb); err == nil {
+		t.Error("bogus workload accepted")
+	}
+	if err := run([]string{"-workload", "ep", "-compute", "xx"}, &sb); err == nil {
+		t.Error("bad compute accepted")
+	}
+}

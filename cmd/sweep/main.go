@@ -1,0 +1,116 @@
+// Command sweep regenerates the reproduction experiments (E1–E10, see
+// DESIGN.md §4) and prints their tables.
+//
+// Usage:
+//
+//	sweep -exp all            # every experiment, full scale
+//	sweep -exp E4 -quick      # one experiment, reduced sweep
+//	sweep -exp E2,E9 -csv dir # also write CSV files into dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"checkpointsim/internal/exp"
+	"checkpointsim/internal/network"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		which  = fs.String("exp", "all", `experiment ids, comma separated, or "all"`)
+		quick  = fs.Bool("quick", false, "reduced sweeps (bench/CI scale)")
+		seed   = fs.Uint64("seed", 42, "random seed")
+		csvDir = fs.String("csv", "", "also write each table as CSV into this directory")
+		netPre = fs.String("net", "default", "network preset: default|capability|ethernet")
+		list   = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Fprintf(out, "%-4s %-28s %s\n", e.ID, e.Title, e.Desc)
+		}
+		return nil
+	}
+
+	o := exp.DefaultOptions()
+	o.Quick = *quick
+	o.Seed = *seed
+	switch *netPre {
+	case "default":
+		o.Net = network.DefaultParams()
+	case "capability":
+		o.Net = network.CapabilityClassParams()
+	case "ethernet":
+		o.Net = network.EthernetClassParams()
+	default:
+		return fmt.Errorf("unknown network preset %q", *netPre)
+	}
+
+	var selected []exp.Experiment
+	if *which == "all" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*which, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Fprintf(out, "network: %s\n", o.Net)
+	mode := "full"
+	if o.Quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(out, "mode: %s, seed: %d\n\n", mode, o.Seed)
+
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Fprintf(out, "### %s — %s\n", e.ID, e.Title)
+		tables, err := e.Run(o)
+		if err != nil {
+			return err
+		}
+		for ti, t := range tables {
+			t.Fprint(out)
+			fmt.Fprintln(out)
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					return err
+				}
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), ti)
+				f, err := os.Create(filepath.Join(*csvDir, name))
+				if err != nil {
+					return err
+				}
+				if err := t.WriteCSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Fprintf(out, "(%s took %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"E1", "E8", "E15"} {
+		if !strings.Contains(out, id+" ") {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestQuickSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "E1", "-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"mode: quick", "E1a", "E1b", "took"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-exp", "E1", "-quick", "-csv", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"e1_0.csv", "e1_1.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s empty", name)
+		}
+	}
+}
+
+func TestNetPresets(t *testing.T) {
+	for _, preset := range []string{"capability", "ethernet"} {
+		var sb strings.Builder
+		if err := run([]string{"-exp", "E1", "-quick", "-net", preset}, &sb); err != nil {
+			t.Errorf("preset %s: %v", preset, err)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "E99"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-net", "bogus"}, &sb); err == nil {
+		t.Error("bogus preset accepted")
+	}
+}

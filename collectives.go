@@ -1,0 +1,85 @@
+package checkpointsim
+
+import (
+	"checkpointsim/internal/collective"
+	"checkpointsim/internal/goal"
+)
+
+// Graph-construction aliases for users who build custom programs instead of
+// using the named workloads.
+type (
+	// OpID identifies an operation within a Program.
+	OpID = goal.OpID
+	// Sequencer chains operations on one rank in program order.
+	Sequencer = goal.Sequencer
+	// Kind identifies an operation type (calc, send, recv).
+	Kind = goal.Kind
+)
+
+// Operation kinds for Sequencer.Fork and program inspection.
+const (
+	KindCalc = goal.KindCalc
+	KindSend = goal.KindSend
+	KindRecv = goal.KindRecv
+)
+
+// Matching wildcards and sentinels.
+const (
+	// NoOp is the invalid OpID (also: "no dependency").
+	NoOp = goal.NoOp
+	// AnySource matches a message from any sender in a Recv.
+	AnySource = goal.AnySource
+	// AnyTag matches any tag in a Recv.
+	AnyTag = goal.AnyTag
+)
+
+// ParseProgram reads a program in the textual GOAL dialect.
+func ParseProgram(text string) (*Program, error) { return goal.ParseString(text) }
+
+// FormatProgram serializes a program in the textual GOAL dialect.
+func FormatProgram(p *Program) string { return goal.WriteString(p) }
+
+// Collective generators: each compiles an MPI-style collective into the
+// builder's graph. entry supplies each rank's dependency (nil for none);
+// the returned slice holds each rank's local-completion op, chainable into
+// the next phase.
+
+// Bcast adds a binomial-tree broadcast from root.
+func Bcast(b *Builder, root int, entry []OpID, tag int, bytes int64) []OpID {
+	return collective.Bcast(b, root, entry, tag, bytes)
+}
+
+// Reduce adds a binomial-tree reduction to root.
+func Reduce(b *Builder, root int, entry []OpID, tag int, bytes int64) []OpID {
+	return collective.Reduce(b, root, entry, tag, bytes)
+}
+
+// Allreduce adds a recursive-doubling allreduce.
+func Allreduce(b *Builder, entry []OpID, tag int, bytes int64) []OpID {
+	return collective.Allreduce(b, entry, tag, bytes)
+}
+
+// Barrier adds a dissemination barrier.
+func Barrier(b *Builder, entry []OpID, tag int) []OpID {
+	return collective.Barrier(b, entry, tag)
+}
+
+// Allgather adds a ring allgather of blockBytes per rank.
+func Allgather(b *Builder, entry []OpID, tag int, blockBytes int64) []OpID {
+	return collective.Allgather(b, entry, tag, blockBytes)
+}
+
+// Alltoall adds a shifted pairwise full exchange.
+func Alltoall(b *Builder, entry []OpID, tag int, bytes int64) []OpID {
+	return collective.Alltoall(b, entry, tag, bytes)
+}
+
+// Gather adds a binomial-tree gather to root.
+func Gather(b *Builder, root int, entry []OpID, tag int, blockBytes int64) []OpID {
+	return collective.Gather(b, root, entry, tag, blockBytes)
+}
+
+// Scatter adds a binomial-tree scatter from root.
+func Scatter(b *Builder, root int, entry []OpID, tag int, blockBytes int64) []OpID {
+	return collective.Scatter(b, root, entry, tag, blockBytes)
+}

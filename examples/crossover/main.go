@@ -1,0 +1,86 @@
+// Crossover exploration: sweep machine size and logging overhead to find
+// where uncoordinated checkpointing overtakes coordinated checkpointing —
+// in simulation at small scales, and with the analytic projection at the
+// exascale sizes the paper extrapolates to.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"checkpointsim"
+	"checkpointsim/internal/model"
+)
+
+func main() {
+	fmt.Println("simulated crossover (stencil2d, δ=2ms, θ=4s/node, seed-matched failures)")
+	fmt.Printf("%6s  %10s  %14s  %14s  %s\n", "P", "β(ns/B)", "coordinated", "uncoordinated", "winner")
+
+	for _, p := range []int{16, 64, 256} {
+		for _, beta := range []float64{0, 0.5, 2.0} {
+			sys := (4 * checkpointsim.Second).Seconds() / float64(p)
+			tau := checkpointsim.Duration(model.DalyInterval(0.002, sys) * 1e9)
+
+			mk := func(kind checkpointsim.ProtoKind, rkind checkpointsim.RecoveryKind, b float64) checkpointsim.Duration {
+				cfg := checkpointsim.RunConfig{
+					Workload:   "stencil2d",
+					Ranks:      p,
+					Iterations: 60,
+					Compute:    checkpointsim.Millisecond,
+					MsgBytes:   4096,
+					Protocol: checkpointsim.ProtocolConfig{
+						Kind:     kind,
+						Interval: tau,
+						Write:    2 * checkpointsim.Millisecond,
+						Offset:   "staggered",
+						Logging:  checkpointsim.LogParams{BetaNsPerByte: b},
+					},
+					Failures: &checkpointsim.FailureConfig{
+						MTBF:          4 * checkpointsim.Second,
+						Restart:       2 * checkpointsim.Millisecond,
+						ReplaySpeedup: 2,
+						Kind:          rkind,
+					},
+					Seed:    9,
+					MaxTime: checkpointsim.Time(120 * checkpointsim.Second),
+				}
+				r, err := checkpointsim.Run(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				return checkpointsim.Duration(r.Makespan)
+			}
+
+			coord := mk(checkpointsim.ProtoCoordinated, checkpointsim.RecoverGlobal, 0)
+			unc := mk(checkpointsim.ProtoUncoordinated, checkpointsim.RecoverLocal, beta)
+			winner := "coordinated"
+			if unc < coord {
+				winner = "uncoordinated"
+			}
+			fmt.Printf("%6d  %10.1f  %14v  %14v  %s\n", p, beta, coord, unc, winner)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("analytic projection to extreme scale (δ=60s, R=120s, θ=5y/node)")
+	fmt.Printf("%8s  %12s  %12s  %12s  %s\n", "P", "log-ovh", "eff-coord", "eff-uncoord", "winner")
+	net := checkpointsim.DefaultNetwork()
+	for _, p := range []int{4096, 65536, 1048576} {
+		for _, lo := range []float64{0.02, 0.10, 0.30} {
+			pr := model.ProtocolProjection{
+				Nodes:       p,
+				NodeMTBF:    5 * 365.25 * 86400,
+				Write:       60,
+				Restart:     120,
+				CoordDelay:  model.CoordinationDelay(p, net, 64),
+				LogOverhead: lo,
+			}
+			ce, ue := model.CoordinatedEfficiency(pr), model.UncoordinatedEfficiency(pr)
+			winner := "coordinated"
+			if ue > ce {
+				winner = "uncoordinated"
+			}
+			fmt.Printf("%8d  %12.2f  %12.4f  %12.4f  %s\n", p, lo, ce, ue, winner)
+		}
+	}
+}

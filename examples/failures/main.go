@@ -1,0 +1,91 @@
+// Failure injection: run the same application under the same failure clock
+// with the two recovery disciplines — coordinated checkpointing with global
+// rollback versus uncoordinated checkpointing with single-rank log replay —
+// and compare what each failure costs the machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"checkpointsim"
+)
+
+func main() {
+	base := checkpointsim.RunConfig{
+		Workload:   "stencil2d",
+		Ranks:      64,
+		Iterations: 200,
+		Compute:    checkpointsim.Millisecond,
+		MsgBytes:   4096,
+		Seed:       16,
+		MaxTime:    checkpointsim.Time(60 * checkpointsim.Second),
+	}
+
+	// Failure-free reference.
+	ref, err := checkpointsim.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failure-free makespan: %v\n\n", checkpointsim.Duration(ref.Makespan))
+
+	const (
+		interval = 10 * checkpointsim.Millisecond
+		write    = checkpointsim.Millisecond
+		mtbf     = 4 * checkpointsim.Second // per node → system MTBF 62.5ms
+		restart  = 2 * checkpointsim.Millisecond
+	)
+
+	// Coordinated + global rollback.
+	coord := base
+	coord.Protocol = checkpointsim.ProtocolConfig{
+		Kind: checkpointsim.ProtoCoordinated, Interval: interval, Write: write,
+	}
+	coord.Failures = &checkpointsim.FailureConfig{
+		MTBF: mtbf, Restart: restart, Kind: checkpointsim.RecoverGlobal,
+	}
+	rc, err := checkpointsim.Run(coord)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Uncoordinated + local replay (with a logging tax).
+	unc := base
+	unc.Protocol = checkpointsim.ProtocolConfig{
+		Kind: checkpointsim.ProtoUncoordinated, Interval: interval, Write: write,
+		Offset:  "staggered",
+		Logging: checkpointsim.LogParams{Alpha: 500 * checkpointsim.Nanosecond, BetaNsPerByte: 0.1},
+	}
+	unc.Failures = &checkpointsim.FailureConfig{
+		MTBF: mtbf, Restart: restart, ReplaySpeedup: 2, Kind: checkpointsim.RecoverLocal,
+	}
+	ru, err := checkpointsim.Run(unc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(name string, r *checkpointsim.RunResult) {
+		fmt.Printf("%s\n", name)
+		fmt.Printf("  makespan:  %v (+%.1f%% over failure-free)\n",
+			checkpointsim.Duration(r.Makespan), r.OverheadPercent(ref.Result))
+		fmt.Printf("  failures:  %d\n", len(r.FailureEvents))
+		var lost, rec checkpointsim.Duration
+		for _, ev := range r.FailureEvents {
+			lost += ev.LostWork
+			rec += ev.Recovery
+		}
+		fmt.Printf("  work lost: %v, recovery charged: %v\n", lost, rec)
+		fmt.Printf("  checkpoint writes: %d\n\n", r.Protocol.Stats().Writes)
+	}
+	show("coordinated + global rollback", rc)
+	show("uncoordinated + local replay", ru)
+
+	if ru.Makespan < rc.Makespan {
+		fmt.Println("verdict: at this scale and failure rate, local replay wins —")
+		fmt.Println("a failure idles one rank, not 64, and partners only stall when")
+		fmt.Println("they actually need a message from the recovering rank.")
+	} else {
+		fmt.Println("verdict: global rollback wins here — the logging tax outweighs")
+		fmt.Println("the recovery savings at this failure rate.")
+	}
+}

@@ -1,0 +1,59 @@
+// Multilevel checkpointing with timeline analysis: run an application under
+// the two-level (SCR/FTI-class) protocol with failures, then break down
+// where every rank's time went and render a Gantt chart of the run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"checkpointsim"
+	"checkpointsim/internal/timeline"
+)
+
+func main() {
+	col := timeline.NewCollector()
+	res, err := checkpointsim.Run(checkpointsim.RunConfig{
+		Workload:   "stencil2d",
+		Ranks:      16,
+		Iterations: 60,
+		Compute:    checkpointsim.Millisecond,
+		MsgBytes:   4096,
+		Protocol: checkpointsim.ProtocolConfig{
+			Kind: checkpointsim.ProtoTwoLevel,
+			TwoLevel: checkpointsim.TwoLevelParams{
+				LocalInterval:  3 * checkpointsim.Millisecond,
+				LocalWrite:     100 * checkpointsim.Microsecond,
+				GlobalInterval: 30 * checkpointsim.Millisecond,
+				GlobalWrite:    2 * checkpointsim.Millisecond,
+			},
+		},
+		Failures: &checkpointsim.FailureConfig{
+			MTBF:          4 * checkpointsim.Second, // per node
+			Restart:       2 * checkpointsim.Millisecond,
+			LocalRestart:  200 * checkpointsim.Microsecond,
+			LocalCoverage: 0.9,
+			Kind:          checkpointsim.RecoverTwoLevel,
+		},
+		Trace:   col.Add,
+		Seed:    16,
+		MaxTime: checkpointsim.Time(60 * checkpointsim.Second),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("makespan: %v, failures: %d\n",
+		checkpointsim.Duration(res.Makespan), len(res.FailureEvents))
+	for _, ev := range res.FailureEvents {
+		fmt.Printf("  t=%v rank=%d lost=%v recovery=%v\n",
+			checkpointsim.Duration(ev.Time), ev.Rank, ev.LostWork, ev.Recovery)
+	}
+	st := res.Protocol.Stats()
+	fmt.Printf("writes: %d total, %d global rounds\n\n", st.Writes, st.Rounds)
+
+	col.PrintSummary(os.Stdout, res.Makespan)
+	fmt.Println()
+	col.Gantt(os.Stdout, 100, res.Makespan, 16)
+}

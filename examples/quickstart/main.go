@@ -1,0 +1,55 @@
+// Quickstart: simulate a 64-rank halo-exchange application with coordinated
+// checkpointing and print what the checkpoints cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"checkpointsim"
+)
+
+func main() {
+	// Baseline: the same application without checkpointing.
+	base, err := checkpointsim.Run(checkpointsim.RunConfig{
+		Workload:   "stencil2d",
+		Ranks:      64,
+		Iterations: 100,
+		Compute:    checkpointsim.Millisecond,
+		MsgBytes:   4096,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same run, checkpointing every 10ms with a 1ms write.
+	ckpt, err := checkpointsim.Run(checkpointsim.RunConfig{
+		Workload:   "stencil2d",
+		Ranks:      64,
+		Iterations: 100,
+		Compute:    checkpointsim.Millisecond,
+		MsgBytes:   4096,
+		Protocol: checkpointsim.ProtocolConfig{
+			Kind:     checkpointsim.ProtoCoordinated,
+			Interval: 10 * checkpointsim.Millisecond,
+			Write:    checkpointsim.Millisecond,
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("baseline makespan:     %v\n", checkpointsim.Duration(base.Makespan))
+	fmt.Printf("checkpointed makespan: %v\n", checkpointsim.Duration(ckpt.Makespan))
+	fmt.Printf("overhead:              %.2f%%\n", ckpt.OverheadPercent(base.Result))
+
+	st := ckpt.Protocol.Stats()
+	fmt.Printf("rounds: %d, writes: %d\n", st.Rounds, st.Writes)
+	if st.Rounds > 0 {
+		fmt.Printf("mean quiesce latency: %v\n", st.CoordDelay/checkpointsim.Duration(st.Rounds))
+		fmt.Printf("mean round span:      %v\n", st.RoundSpan/checkpointsim.Duration(st.Rounds))
+	}
+	fmt.Printf("coordination control messages: %d\n", ckpt.Metrics.CtlMessages)
+}

@@ -1,0 +1,3 @@
+module checkpointsim
+
+go 1.22

@@ -1,0 +1,168 @@
+package checkpoint
+
+import (
+	"math/bits"
+
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+// coordinator runs the two-phase checkpoint rounds over one group of ranks
+// (the whole machine for Coordinated, one cluster for Hierarchical). Rounds
+// proceed through four sweeps of a binomial tree rooted at members[0]:
+//
+//	REQ  (down): close each member's application gate
+//	ACK  (up):   subtree fully quiesced
+//	COMMIT (down): write the checkpoint (CPU seizure), reopen the gate
+//	DONE (up):   subtree fully written
+//
+// All sweeps are control messages through the simulated network. Rounds
+// never overlap: the next round starts Interval after the previous round's
+// start, or immediately after the previous round ends, whichever is later.
+type coordinator struct {
+	ctx     *sim.Context
+	p       Params
+	members []int // actual rank ids; members[0] is the root
+	stats   *Stats
+	// onWrite records a completed write for one member rank.
+	onWrite func(rank int, end simtime.Time)
+	// onRound runs when a round fully completes.
+	onRound func(tick, end simtime.Time)
+
+	// per-round state
+	active       bool
+	tickTime     simtime.Time
+	pendingDelay simtime.Duration // coordination delay of the in-flight round
+	acksLeft     []int
+	donesLeft    []int
+	release      []func()
+	// pendingBusy snapshots each member's application progress at its write;
+	// committedBusy is the snapshot of the last *completed* round — the
+	// progress a rollback of this group restores.
+	pendingBusy   []simtime.Duration
+	committedBusy []simtime.Duration
+}
+
+func newCoordinator(ctx *sim.Context, p Params, members []int, stats *Stats,
+	onWrite func(int, simtime.Time), onRound func(tick, end simtime.Time)) *coordinator {
+	return &coordinator{
+		ctx: ctx, p: p, members: members, stats: stats,
+		onWrite: onWrite, onRound: onRound,
+		acksLeft:      make([]int, len(members)),
+		donesLeft:     make([]int, len(members)),
+		release:       make([]func(), len(members)),
+		pendingBusy:   make([]simtime.Duration, len(members)),
+		committedBusy: make([]simtime.Duration, len(members)),
+	}
+}
+
+// children returns the virtual indices of i's binomial-tree children.
+func (c *coordinator) children(i int) []int {
+	n := len(c.members)
+	var out []int
+	limit := i & -i // lsb; the root may add any power of two
+	if i == 0 {
+		limit = 1 << bits.Len(uint(n)) // effectively unbounded
+	}
+	for step := 1; step < limit && i+step < n; step <<= 1 {
+		out = append(out, i+step)
+	}
+	return out
+}
+
+// parent returns the virtual index of i's binomial-tree parent.
+func (c *coordinator) parent(i int) int { return i - (i & -i) }
+
+// schedule arms the periodic rounds; call once from the protocol's Init.
+func (c *coordinator) schedule(first simtime.Time) {
+	c.ctx.At(first, c.tick)
+}
+
+func (c *coordinator) tick() {
+	if c.active {
+		// Should not happen — rounds reschedule themselves on completion —
+		// but guard against misuse.
+		return
+	}
+	c.active = true
+	c.tickTime = c.ctx.Now()
+	c.handleReq(0)
+}
+
+func (c *coordinator) handleReq(i int) {
+	rank := c.members[i]
+	c.release[i] = c.ctx.HoldApp(rank, ReasonCoord)
+	kids := c.children(i)
+	c.acksLeft[i] = len(kids)
+	for _, j := range kids {
+		j := j
+		c.ctx.SendControl(rank, c.members[j], c.p.ctlBytes(),
+			func(simtime.Time) { c.handleReq(j) })
+	}
+	if len(kids) == 0 {
+		c.ackReady(i)
+	}
+}
+
+// ackReady runs when subtree i is fully quiesced.
+func (c *coordinator) ackReady(i int) {
+	if i == 0 {
+		c.pendingDelay = c.ctx.Now().Sub(c.tickTime)
+		c.handleCommit(0)
+		return
+	}
+	p := c.parent(i)
+	c.ctx.SendControl(c.members[i], c.members[p], c.p.ctlBytes(),
+		func(simtime.Time) {
+			c.acksLeft[p]--
+			if c.acksLeft[p] == 0 {
+				c.ackReady(p)
+			}
+		})
+}
+
+func (c *coordinator) handleCommit(i int) {
+	rank := c.members[i]
+	kids := c.children(i)
+	c.donesLeft[i] = len(kids) + 1 // children subtrees + own write
+	for _, j := range kids {
+		j := j
+		c.ctx.SendControl(rank, c.members[j], c.p.ctlBytes(),
+			func(simtime.Time) { c.handleCommit(j) })
+	}
+	c.ctx.SeizeCPU(rank, c.p.Write, ReasonWrite, func(end simtime.Time) {
+		c.stats.Writes++
+		c.pendingBusy[i] = c.ctx.RankBusy(rank)
+		c.release[i]()
+		c.release[i] = nil
+		if c.onWrite != nil {
+			c.onWrite(rank, end)
+		}
+		c.doneReady(i)
+	})
+}
+
+// doneReady decrements subtree i's outstanding-done counter.
+func (c *coordinator) doneReady(i int) {
+	c.donesLeft[i]--
+	if c.donesLeft[i] > 0 {
+		return
+	}
+	if i == 0 {
+		end := c.ctx.Now()
+		c.stats.Rounds++ // rounds and their delays count only when complete
+		c.stats.CoordDelay += c.pendingDelay
+		c.stats.RoundSpan += end.Sub(c.tickTime)
+		copy(c.committedBusy, c.pendingBusy)
+		c.active = false
+		if c.onRound != nil {
+			c.onRound(c.tickTime, end)
+		}
+		next := simtime.Max(c.tickTime.Add(c.p.Interval), end)
+		c.ctx.At(next, c.tick)
+		return
+	}
+	p := c.parent(i)
+	c.ctx.SendControl(c.members[i], c.members[p], c.p.ctlBytes(),
+		func(simtime.Time) { c.doneReady(p) })
+}

@@ -1,0 +1,161 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+// PartnerParams configure diskless partner (buddy) checkpointing.
+type PartnerParams struct {
+	// Interval is the per-rank checkpoint interval.
+	Interval simtime.Duration
+	// SerializeTime is the local CPU seizure to snapshot the rank's state
+	// into a send buffer (the "write" analogue; no filesystem involved).
+	SerializeTime simtime.Duration
+	// CkptBytes is the checkpoint image size shipped to the partner. The
+	// transfer is a real message on the simulated network: it contends
+	// with application traffic for the sender's NIC and the partner's CPU.
+	CkptBytes int64
+	// Stride selects the partner: rank ^pairs with (rank + Stride) mod P.
+	// Zero defaults to P/2 (cross-machine pairing, the usual choice so
+	// that a cabinet-level failure does not take out both copies).
+	Stride int
+	// Offsets selects the timer policy, as for Uncoordinated.
+	Offsets OffsetPolicy
+}
+
+// Validate checks the parameter set.
+func (p PartnerParams) Validate() error {
+	if p.Interval <= 0 {
+		return fmt.Errorf("checkpoint: non-positive interval %v", p.Interval)
+	}
+	if p.SerializeTime < 0 {
+		return fmt.Errorf("checkpoint: negative serialize time")
+	}
+	if p.CkptBytes <= 0 {
+		return fmt.Errorf("checkpoint: partner checkpoint needs a positive size")
+	}
+	if p.Stride < 0 {
+		return fmt.Errorf("checkpoint: negative partner stride")
+	}
+	if p.Offsets > Random {
+		return fmt.Errorf("checkpoint: bad offset policy %d", p.Offsets)
+	}
+	return nil
+}
+
+// Partner is uncoordinated diskless checkpointing to a partner node's
+// memory: each rank periodically serializes its state (a CPU seizure) and
+// ships the image to its partner as a real network transfer. There is no
+// parallel filesystem in the loop — the cost is CPU, NIC, and the partner's
+// receive processing, all of which contend with the application. A rank's
+// recovery line commits when its partner has fully received the image.
+//
+// Message logging is deliberately not bundled in (compose with the logging
+// tax of Uncoordinated if the recovery protocol needs it); Partner isolates
+// the checkpoint-commit path that experiment E12 compares against
+// local-write protocols.
+type Partner struct {
+	p     PartnerParams
+	stats Stats
+	ctx   *sim.Context
+
+	last      []simtime.Time
+	busyAt    []simtime.Duration
+	shipped   int64 // total checkpoint bytes shipped
+	transfers int64
+}
+
+// NewPartner builds the protocol.
+func NewPartner(p PartnerParams) (*Partner, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Partner{p: p}, nil
+}
+
+// partner returns rank's buddy.
+func (pt *Partner) partner(rank int) int {
+	n := pt.ctx.NumRanks()
+	stride := pt.p.Stride
+	if stride == 0 {
+		stride = n / 2
+	}
+	if stride == 0 { // n == 1
+		return rank
+	}
+	return (rank + stride) % n
+}
+
+// Init implements sim.Agent.
+func (pt *Partner) Init(ctx *sim.Context) {
+	pt.ctx = ctx
+	n := ctx.NumRanks()
+	pt.last = make([]simtime.Time, n)
+	pt.busyAt = make([]simtime.Duration, n)
+	for r := 0; r < n; r++ {
+		var off simtime.Duration
+		switch pt.p.Offsets {
+		case Aligned:
+			off = 0
+		case Staggered:
+			off = simtime.Duration(int64(pt.p.Interval) * int64(r) / int64(n))
+		case Random:
+			off = simtime.Duration(ctx.Rand().Intn(int(pt.p.Interval)))
+		}
+		r := r
+		ctx.At(simtime.Time(0).Add(pt.p.Interval+off), func() { pt.fire(r) })
+	}
+}
+
+func (pt *Partner) fire(rank int) {
+	fired := pt.ctx.Now()
+	buddy := pt.partner(rank)
+	pt.ctx.SeizeCPU(rank, pt.p.SerializeTime, ReasonWrite, func(end simtime.Time) {
+		progress := pt.ctx.RankBusy(rank)
+		if buddy == rank {
+			// Degenerate single-rank case: the local copy is the line.
+			pt.commit(rank, end, progress, fired)
+			return
+		}
+		pt.ctx.SendControl(rank, buddy, pt.p.CkptBytes, func(at simtime.Time) {
+			pt.shipped += pt.p.CkptBytes
+			pt.transfers++
+			pt.commit(rank, at, progress, fired)
+		})
+	})
+}
+
+// commit finalizes one checkpoint and arms the next timer.
+func (pt *Partner) commit(rank int, at simtime.Time, progress simtime.Duration, fired simtime.Time) {
+	pt.stats.Writes++
+	pt.last[rank] = at
+	pt.busyAt[rank] = progress
+	next := simtime.Max(fired.Add(pt.p.Interval), at)
+	pt.ctx.At(next, func() { pt.fire(rank) })
+}
+
+// Name implements Protocol.
+func (pt *Partner) Name() string { return "partner" }
+
+// Stats implements Protocol.
+func (pt *Partner) Stats() Stats { return pt.stats }
+
+// LastCheckpoint implements Protocol: the time the partner finished
+// receiving the rank's latest image.
+func (pt *Partner) LastCheckpoint(rank int) simtime.Time { return pt.last[rank] }
+
+// ProgressAtCheckpoint implements Protocol.
+func (pt *Partner) ProgressAtCheckpoint(rank int) simtime.Duration {
+	return pt.busyAt[rank]
+}
+
+// Shipped returns the total bytes transferred to partners and the number of
+// completed transfers.
+func (pt *Partner) Shipped() (bytes int64, transfers int64) {
+	return pt.shipped, pt.transfers
+}
+
+var _ Protocol = (*Partner)(nil)

@@ -1,0 +1,153 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+// TwoLevelParams configure the multilevel (SCR/FTI-class) protocol.
+type TwoLevelParams struct {
+	// LocalInterval and LocalWrite configure the frequent, cheap level:
+	// node-local (SSD/partner-memory) checkpoints. Timers are aligned
+	// across ranks so the local checkpoints form an (approximately)
+	// consistent set, as SCR's cached checkpoints do — and alignment is
+	// also the cheapest offset policy for coupled codes (experiment E9).
+	LocalInterval simtime.Duration
+	LocalWrite    simtime.Duration
+	// GlobalInterval and GlobalWrite configure the rare, expensive level:
+	// coordinated parallel-filesystem checkpoints (full two-phase rounds).
+	GlobalInterval simtime.Duration
+	GlobalWrite    simtime.Duration
+	// CtlBytes sizes the coordination control messages (default 64).
+	CtlBytes int64
+}
+
+// Validate checks the parameter set.
+func (p TwoLevelParams) Validate() error {
+	if p.LocalInterval <= 0 || p.GlobalInterval <= 0 {
+		return fmt.Errorf("checkpoint: two-level intervals must be positive")
+	}
+	if p.LocalWrite < 0 || p.GlobalWrite < 0 {
+		return fmt.Errorf("checkpoint: negative write time")
+	}
+	if p.LocalInterval > p.GlobalInterval {
+		return fmt.Errorf("checkpoint: local interval %v > global interval %v (levels inverted)",
+			p.LocalInterval, p.GlobalInterval)
+	}
+	if p.CtlBytes < 0 {
+		return fmt.Errorf("checkpoint: negative control size")
+	}
+	return nil
+}
+
+// TwoLevel is multilevel checkpointing in the SCR/FTI mold: each rank takes
+// frequent, cheap local checkpoints on an aligned timer, while a
+// coordinated round writes a rare, expensive global checkpoint to stable
+// storage. Most failures (a process crash whose node survives, or whose
+// partner copy is intact) recover from the local level; only severe
+// failures fall through to the global line. The failure package's
+// RecoverTwoLevel discipline draws the severity and asks this protocol for
+// the matching recovery line.
+type TwoLevel struct {
+	p     TwoLevelParams
+	stats Stats
+	ctx   *sim.Context
+
+	coord *coordinator // the global level
+
+	// local level
+	localLast   []simtime.Time
+	localBusyAt []simtime.Duration
+	// global level (committed lines)
+	globalLast   simtime.Time
+	globalBusyAt []simtime.Duration
+	localWrites  int64
+	globalWrites int64
+}
+
+// NewTwoLevel builds the protocol.
+func NewTwoLevel(p TwoLevelParams) (*TwoLevel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &TwoLevel{p: p}, nil
+}
+
+// Init implements sim.Agent.
+func (tl *TwoLevel) Init(ctx *sim.Context) {
+	tl.ctx = ctx
+	n := ctx.NumRanks()
+	tl.localLast = make([]simtime.Time, n)
+	tl.localBusyAt = make([]simtime.Duration, n)
+	tl.globalBusyAt = make([]simtime.Duration, n)
+
+	// Local level: aligned independent timers (consistent-set semantics).
+	for r := 0; r < n; r++ {
+		r := r
+		ctx.At(simtime.Time(0).Add(tl.p.LocalInterval), func() { tl.fireLocal(r) })
+	}
+
+	// Global level: a full coordinated round.
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	gp := Params{Interval: tl.p.GlobalInterval, Write: tl.p.GlobalWrite, CtlBytes: tl.p.CtlBytes}
+	tl.coord = newCoordinator(ctx, gp, members, &tl.stats, nil,
+		func(tick, end simtime.Time) {
+			tl.globalLast = end
+			copy(tl.globalBusyAt, tl.coord.committedBusy)
+			tl.globalWrites += int64(n)
+		})
+	tl.coord.schedule(simtime.Time(0).Add(tl.p.GlobalInterval))
+}
+
+func (tl *TwoLevel) fireLocal(rank int) {
+	fired := tl.ctx.Now()
+	tl.ctx.SeizeCPU(rank, tl.p.LocalWrite, ReasonWrite, func(end simtime.Time) {
+		tl.stats.Writes++
+		tl.localWrites++
+		tl.localLast[rank] = end
+		tl.localBusyAt[rank] = tl.ctx.RankBusy(rank)
+		next := simtime.Max(fired.Add(tl.p.LocalInterval), end)
+		tl.ctx.At(next, func() { tl.fireLocal(rank) })
+	})
+}
+
+// Name implements Protocol.
+func (tl *TwoLevel) Name() string { return "twolevel" }
+
+// Stats implements Protocol. Writes counts both levels; Rounds counts
+// global rounds.
+func (tl *TwoLevel) Stats() Stats { return tl.stats }
+
+// LastCheckpoint implements Protocol: the freshest line covering the rank
+// (normally the local one).
+func (tl *TwoLevel) LastCheckpoint(rank int) simtime.Time {
+	return simtime.Max(tl.localLast[rank], tl.globalLast)
+}
+
+// ProgressAtCheckpoint implements Protocol, matching LastCheckpoint.
+func (tl *TwoLevel) ProgressAtCheckpoint(rank int) simtime.Duration {
+	if tl.localLast[rank] >= tl.globalLast {
+		return tl.localBusyAt[rank]
+	}
+	return tl.globalBusyAt[rank]
+}
+
+// GlobalCheckpoint returns the last committed global line time.
+func (tl *TwoLevel) GlobalCheckpoint() simtime.Time { return tl.globalLast }
+
+// GlobalProgressAt returns the rank's progress saved by the global line.
+func (tl *TwoLevel) GlobalProgressAt(rank int) simtime.Duration {
+	return tl.globalBusyAt[rank]
+}
+
+// LevelWrites returns the per-level write counts (local, global).
+func (tl *TwoLevel) LevelWrites() (local, global int64) {
+	return tl.localWrites, tl.globalWrites
+}
+
+var _ Protocol = (*TwoLevel)(nil)

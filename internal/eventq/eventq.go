@@ -1,0 +1,126 @@
+// Package eventq implements the priority queue at the heart of the
+// discrete-event simulator.
+//
+// Events are ordered by (time, priority, sequence): earlier times first,
+// then lower priority values, then insertion order. The sequence component
+// makes the ordering total, which is what guarantees deterministic
+// simulation — two events at the same instant always pop in the order they
+// were scheduled, on every run and platform.
+package eventq
+
+import "checkpointsim/internal/simtime"
+
+// Queue is a binary min-heap of events carrying payloads of type T.
+// The zero value is an empty, usable queue.
+type Queue[T any] struct {
+	items []item[T]
+	seq   uint64
+}
+
+type item[T any] struct {
+	t    simtime.Time
+	prio int
+	seq  uint64
+	v    T
+}
+
+// less orders by time, then priority, then insertion sequence.
+func (q *Queue[T]) less(i, j int) bool {
+	a, b := &q.items[i], &q.items[j]
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+// Len returns the number of queued events.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push schedules v at time t with priority 0.
+func (q *Queue[T]) Push(t simtime.Time, v T) { q.PushPrio(t, 0, v) }
+
+// PushPrio schedules v at time t with an explicit priority. Among events at
+// the same time, lower priorities pop first; ties break by insertion order.
+func (q *Queue[T]) PushPrio(t simtime.Time, prio int, v T) {
+	q.items = append(q.items, item[T]{t: t, prio: prio, seq: q.seq, v: v})
+	q.seq++
+	q.up(len(q.items) - 1)
+}
+
+// Pop removes and returns the earliest event. It panics on an empty queue;
+// check Len first.
+func (q *Queue[T]) Pop() (simtime.Time, T) {
+	if len(q.items) == 0 {
+		panic("eventq: Pop on empty queue")
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	var zero item[T]
+	q.items[last] = zero // release payload for GC
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top.t, top.v
+}
+
+// Peek returns the earliest event without removing it. ok is false when the
+// queue is empty.
+func (q *Queue[T]) Peek() (t simtime.Time, v T, ok bool) {
+	if len(q.items) == 0 {
+		return 0, v, false
+	}
+	return q.items[0].t, q.items[0].v, true
+}
+
+// PeekTime returns the time of the earliest event, or simtime.Infinity when
+// the queue is empty.
+func (q *Queue[T]) PeekTime() simtime.Time {
+	if len(q.items) == 0 {
+		return simtime.Infinity
+	}
+	return q.items[0].t
+}
+
+// Clear discards all queued events while keeping the allocated capacity.
+func (q *Queue[T]) Clear() {
+	var zero item[T]
+	for i := range q.items {
+		q.items[i] = zero
+	}
+	q.items = q.items[:0]
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

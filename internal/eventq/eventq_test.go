@@ -1,0 +1,225 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"checkpointsim/internal/rng"
+	"checkpointsim/internal/simtime"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue[int]
+	if q.Len() != 0 {
+		t.Error("new queue not empty")
+	}
+	if _, _, ok := q.Peek(); ok {
+		t.Error("Peek on empty returned ok")
+	}
+	if q.PeekTime() != simtime.Infinity {
+		t.Error("PeekTime on empty != Infinity")
+	}
+}
+
+func TestPopPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop on empty did not panic")
+		}
+	}()
+	var q Queue[int]
+	q.Pop()
+}
+
+func TestOrderingByTime(t *testing.T) {
+	var q Queue[string]
+	q.Push(30, "c")
+	q.Push(10, "a")
+	q.Push(20, "b")
+	for _, want := range []string{"a", "b", "c"} {
+		if _, v := q.Pop(); v != want {
+			t.Errorf("pop = %q, want %q", v, want)
+		}
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(5, i)
+	}
+	for i := 0; i < 100; i++ {
+		_, v := q.Pop()
+		if v != i {
+			t.Fatalf("same-time events out of insertion order: got %d want %d", v, i)
+		}
+	}
+}
+
+func TestPriorityBeforeSequence(t *testing.T) {
+	var q Queue[string]
+	q.PushPrio(5, 1, "low-prio-first-inserted")
+	q.PushPrio(5, 0, "high-prio")
+	if _, v := q.Pop(); v != "high-prio" {
+		t.Errorf("priority not respected: got %q", v)
+	}
+	_, v := q.Pop()
+	if v != "low-prio-first-inserted" {
+		t.Errorf("second pop = %q", v)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue[int]
+	q.Push(7, 42)
+	tm, v, ok := q.Peek()
+	if !ok || tm != 7 || v != 42 {
+		t.Errorf("Peek = %v %v %v", tm, v, ok)
+	}
+	if q.Len() != 1 {
+		t.Error("Peek removed the event")
+	}
+	if q.PeekTime() != 7 {
+		t.Error("PeekTime wrong")
+	}
+}
+
+func TestClear(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 10; i++ {
+		q.Push(simtime.Time(i), i)
+	}
+	q.Clear()
+	if q.Len() != 0 {
+		t.Error("Clear did not empty")
+	}
+	// Still usable and still ordered after Clear (sequence keeps rising).
+	q.Push(2, 2)
+	q.Push(1, 1)
+	if _, v := q.Pop(); v != 1 {
+		t.Error("queue broken after Clear")
+	}
+}
+
+func TestHeapSortsRandomInput(t *testing.T) {
+	r := rng.New(42)
+	var q Queue[int]
+	n := 5000
+	times := make([]int64, n)
+	for i := 0; i < n; i++ {
+		tm := int64(r.Intn(1000))
+		times[i] = tm
+		q.Push(simtime.Time(tm), i)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	prev := simtime.Time(-1)
+	for i := 0; i < n; i++ {
+		tm, _ := q.Pop()
+		if tm < prev {
+			t.Fatalf("pop %d out of order: %d after %d", i, tm, prev)
+		}
+		if int64(tm) != times[i] {
+			t.Fatalf("pop %d time %d, want %d", i, tm, times[i])
+		}
+		prev = tm
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	r := rng.New(7)
+	var q Queue[int64]
+	var popped []int64
+	now := simtime.Time(0)
+	for i := 0; i < 10000; i++ {
+		if q.Len() == 0 || r.Float64() < 0.6 {
+			// schedule in the future relative to last popped time
+			q.Push(now+simtime.Time(r.Intn(100)), int64(i))
+		} else {
+			tm, _ := q.Pop()
+			if tm < now {
+				t.Fatalf("time went backwards: %d < %d", tm, now)
+			}
+			now = tm
+			popped = append(popped, int64(tm))
+		}
+	}
+	for i := 1; i < len(popped); i++ {
+		if popped[i] < popped[i-1] {
+			t.Fatal("popped sequence not monotone")
+		}
+	}
+}
+
+// Property: for any set of times, popping yields them in sorted order.
+func TestQuickSortsAnything(t *testing.T) {
+	f := func(ts []uint16) bool {
+		var q Queue[int]
+		for i, v := range ts {
+			q.Push(simtime.Time(v), i)
+		}
+		want := append([]uint16(nil), ts...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			tm, _ := q.Pop()
+			if tm != simtime.Time(want[i]) {
+				return false
+			}
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: determinism — identical operation sequences produce identical
+// pop sequences.
+func TestQuickDeterministic(t *testing.T) {
+	f := func(seed uint32) bool {
+		run := func() []int {
+			r := rng.New(uint64(seed))
+			var q Queue[int]
+			var out []int
+			for i := 0; i < 200; i++ {
+				if q.Len() == 0 || r.Float64() < 0.5 {
+					q.Push(simtime.Time(r.Intn(50)), i)
+				} else {
+					_, v := q.Pop()
+					out = append(out, v)
+				}
+			}
+			for q.Len() > 0 {
+				_, v := q.Pop()
+				out = append(out, v)
+			}
+			return out
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	r := rng.New(1)
+	var q Queue[int]
+	for i := 0; i < 1024; i++ {
+		q.Push(simtime.Time(r.Intn(1<<20)), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm, v := q.Pop()
+		q.Push(tm+simtime.Time(r.Intn(1024)), v)
+	}
+}

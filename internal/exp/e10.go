@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/report"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+// E10Hierarchical sweeps the hybrid protocol's cluster size between the
+// uncoordinated (cluster = 1) and fully coordinated (cluster = P) extremes.
+// The logged fraction falls as clusters grow while coordination cost rises;
+// the sweet spot depends on how much of the workload's traffic stays inside
+// a cluster.
+func E10Hierarchical(o Options) ([]*report.Table, error) {
+	net := o.net()
+	ranks := pick(o, 64, 16)
+	iters := pick(o, 60, 20)
+	clusters := pick(o, []int{1, 4, 8, 16, 64}, []int{1, 4, 16})
+	workloads := pick(o, []string{"stencil2d", "transpose"}, []string{"stencil2d"})
+	params := checkpoint.Params{Interval: 10 * simtime.Millisecond, Write: simtime.Millisecond}
+	logp := checkpoint.LogParams{Alpha: 500 * simtime.Nanosecond, BetaNsPerByte: 0.2}
+
+	t := report.NewTable("E10: hierarchical cluster-size sweep (τ=10ms, δ=1ms, log β=0.2)",
+		"workload", "cluster", "overhead%", "logged-frac", "rounds", "ctl-msgs")
+	for _, w := range workloads {
+		base, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+		if err != nil {
+			return nil, errf("E10", err)
+		}
+		rBase, err := simulate(net, base, o.Seed, 0)
+		if err != nil {
+			return nil, errf("E10", err)
+		}
+		for _, c := range clusters {
+			if c > ranks {
+				continue
+			}
+			hp, err := checkpoint.NewHierarchical(params, c, logp)
+			if err != nil {
+				return nil, errf("E10", err)
+			}
+			prog, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+			if err != nil {
+				return nil, errf("E10", err)
+			}
+			r, err := simulate(net, prog, o.Seed, 0, sim.Agent(hp))
+			if err != nil {
+				return nil, errf("E10", err)
+			}
+			st := hp.Stats()
+			frac := 0.0
+			if r.Metrics.AppMessages > 0 {
+				frac = float64(st.LoggedMessages) / float64(r.Metrics.AppMessages)
+			}
+			t.AddRow(w, c, overheadPct(r, rBase), frac, st.Rounds, r.Metrics.CtlMessages)
+		}
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/report"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+// E11NonBlocking compares blocking and non-blocking (asynchronous,
+// copy-on-write) coordinated checkpointing. The blocking protocol pays
+// quiesce latency, gate time, and an exclusive write; the non-blocking
+// variant spreads the same write volume over a window while the
+// application runs slowed. The sweep varies the interference factor and
+// window stretch to show where asynchrony stops paying.
+func E11NonBlocking(o Options) ([]*report.Table, error) {
+	net := o.net()
+	ranks := pick(o, 64, 16)
+	iters := pick(o, 60, 25)
+	workloads := pick(o, []string{"stencil2d", "cg"}, []string{"stencil2d"})
+	params := checkpoint.Params{Interval: 10 * simtime.Millisecond, Write: 2 * simtime.Millisecond}
+
+	t := report.NewTable("E11: blocking vs non-blocking coordinated (τ=10ms, δ=2ms)",
+		"workload", "protocol", "window", "slowdown", "overhead%", "rounds")
+	for _, w := range workloads {
+		base, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+		if err != nil {
+			return nil, errf("E11", err)
+		}
+		rBase, err := simulate(net, base, o.Seed, 0)
+		if err != nil {
+			return nil, errf("E11", err)
+		}
+
+		// Blocking reference.
+		cp, err := checkpoint.NewCoordinated(params)
+		if err != nil {
+			return nil, errf("E11", err)
+		}
+		prog, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+		if err != nil {
+			return nil, errf("E11", err)
+		}
+		r, err := simulate(net, prog, o.Seed, 0, sim.Agent(cp))
+		if err != nil {
+			return nil, errf("E11", err)
+		}
+		t.AddRow(w, "blocking", "-", "-", overheadPct(r, rBase), cp.Stats().Rounds)
+
+		type variant struct {
+			window   simtime.Duration
+			slowdown float64
+		}
+		variants := pick(o,
+			[]variant{
+				{2 * simtime.Millisecond, 1.0},  // instantaneous background, free
+				{4 * simtime.Millisecond, 1.25}, // 2x stretch, 25% interference
+				{8 * simtime.Millisecond, 1.25},
+				{8 * simtime.Millisecond, 1.5},
+			},
+			[]variant{{4 * simtime.Millisecond, 1.25}})
+		for _, v := range variants {
+			nb, err := checkpoint.NewNonBlockingCoordinated(checkpoint.NonBlockingParams{
+				Params: params, Window: v.window, Slowdown: v.slowdown})
+			if err != nil {
+				return nil, errf("E11", err)
+			}
+			prog, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+			if err != nil {
+				return nil, errf("E11", err)
+			}
+			r, err := simulate(net, prog, o.Seed, 0, sim.Agent(nb))
+			if err != nil {
+				return nil, errf("E11", err)
+			}
+			t.AddRow(w, "non-blocking", v.window.String(), v.slowdown,
+				overheadPct(r, rBase), nb.Stats().Rounds)
+		}
+	}
+	t.AddNote("non-blocking charges no quiesce or gate; interference = (slowdown-1) during window")
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/report"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+// E12Partner compares where checkpoints are committed: a local/parallel-
+// filesystem write (modeled as an exclusive CPU seizure whose duration is
+// image-size divided by the filesystem bandwidth share) against diskless
+// partner checkpointing, where the image travels over the interconnect to a
+// buddy node and contends with application traffic. The sweep varies the
+// checkpoint image size.
+func E12Partner(o Options) ([]*report.Table, error) {
+	net := o.net()
+	ranks := pick(o, 64, 16)
+	iters := pick(o, 60, 25)
+	const interval = 10 * simtime.Millisecond
+	// Per-rank filesystem bandwidth share for the local-write model: a
+	// 1 GB/s burst-buffer-class share of the PFS.
+	const fsBytesPerSec = 1 << 30
+	sizes := pick(o,
+		[]int64{256 * 1024, 1 << 20, 4 << 20},
+		[]int64{256 * 1024, 1 << 20})
+
+	t := report.NewTable("E12: local-write vs partner (diskless) checkpointing, τ=10ms",
+		"workload", "image", "protocol", "overhead%", "writes", "net-MB-shipped")
+	for _, w := range pick(o, []string{"stencil2d", "transpose"}, []string{"stencil2d"}) {
+		base, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+		if err != nil {
+			return nil, errf("E12", err)
+		}
+		rBase, err := simulate(net, base, o.Seed, 0)
+		if err != nil {
+			return nil, errf("E12", err)
+		}
+		for _, size := range sizes {
+			writeDur := simtime.FromSeconds(float64(size) / fsBytesPerSec)
+
+			// Local write: exclusive seizure sized by PFS bandwidth.
+			up, err := checkpoint.NewUncoordinated(
+				checkpoint.Params{Interval: interval, Write: writeDur},
+				checkpoint.Staggered, checkpoint.LogParams{})
+			if err != nil {
+				return nil, errf("E12", err)
+			}
+			prog, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+			if err != nil {
+				return nil, errf("E12", err)
+			}
+			r, err := simulate(net, prog, o.Seed, 0, sim.Agent(up))
+			if err != nil {
+				return nil, errf("E12", err)
+			}
+			t.AddRow(w, size, "local-write", overheadPct(r, rBase), up.Stats().Writes, 0.0)
+
+			// Partner: short serialize seizure + real network transfer.
+			pt, err := checkpoint.NewPartner(checkpoint.PartnerParams{
+				Interval:      interval,
+				SerializeTime: writeDur / 10, // memcpy is ~10x the PFS rate
+				CkptBytes:     size,
+				Offsets:       checkpoint.Staggered,
+			})
+			if err != nil {
+				return nil, errf("E12", err)
+			}
+			prog2, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+			if err != nil {
+				return nil, errf("E12", err)
+			}
+			r2, err := simulate(net, prog2, o.Seed, 0, sim.Agent(pt))
+			if err != nil {
+				return nil, errf("E12", err)
+			}
+			shipped, _ := pt.Shipped()
+			t.AddRow(w, size, "partner", overheadPct(r2, rBase), pt.Stats().Writes,
+				float64(shipped)/(1<<20))
+		}
+	}
+	t.AddNote("local write = image/1GBps exclusive seizure; partner = image/10 serialize + interconnect transfer")
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/report"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/workload"
+)
+
+// E13Straggler measures how checkpointing protocols interact with static
+// load imbalance: one rank computes slower by a sweep of factors. On a
+// coupled code the machine already runs at the straggler's pace, so the
+// other ranks have idle slack every iteration — slack that an aligned
+// uncoordinated write can hide inside, while a coordinated round's quiesce
+// must wait for the straggler and a staggered write adds a second,
+// out-of-phase stall.
+func E13Straggler(o Options) ([]*report.Table, error) {
+	net := o.net()
+	ranks := pick(o, 64, 16)
+	iters := pick(o, 60, 25)
+	factors := pick(o, []float64{1.0, 1.5, 2.0, 4.0}, []float64{1.0, 2.0})
+	params := checkpoint.Params{Interval: 10 * simtime.Millisecond, Write: 2 * simtime.Millisecond}
+
+	build := func(factor float64) (*sim.Result, error) {
+		p, err := workload.Straggler(workload.StragglerConfig{
+			Base: workload.Base{Ranks: ranks, Iterations: iters,
+				Compute: simtime.Millisecond, Seed: o.Seed},
+			HaloBytes: 4096,
+			Factor:    factor,
+			SlowRank:  ranks / 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return simulate(net, p, o.Seed, 0)
+	}
+	buildWith := func(factor float64, proto checkpoint.Protocol) (*sim.Result, error) {
+		p, err := workload.Straggler(workload.StragglerConfig{
+			Base: workload.Base{Ranks: ranks, Iterations: iters,
+				Compute: simtime.Millisecond, Seed: o.Seed},
+			HaloBytes: 4096,
+			Factor:    factor,
+			SlowRank:  ranks / 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return simulate(net, p, o.Seed, 0, sim.Agent(proto))
+	}
+
+	t := report.NewTable("E13: checkpointing under a straggler (τ=10ms, δ=2ms)",
+		"straggler-x", "protocol", "makespan", "overhead-vs-own-baseline%")
+	for _, f := range factors {
+		rBase, err := build(f)
+		if err != nil {
+			return nil, errf("E13", err)
+		}
+		protos := func() []checkpoint.Protocol {
+			cp, _ := checkpoint.NewCoordinated(params)
+			ua, _ := checkpoint.NewUncoordinated(params, checkpoint.Aligned, checkpoint.LogParams{})
+			us, _ := checkpoint.NewUncoordinated(params, checkpoint.Staggered, checkpoint.LogParams{})
+			return []checkpoint.Protocol{cp, ua, us}
+		}()
+		for _, proto := range protos {
+			r, err := buildWith(f, proto)
+			if err != nil {
+				return nil, errf("E13", err)
+			}
+			t.AddRow(f, proto.Name(), simtime.Duration(r.Makespan).String(),
+				overheadPct(r, rBase))
+		}
+	}
+	t.AddNote("baseline for each row is the straggler run without checkpointing: the column isolates protocol cost under imbalance")
+	return []*report.Table{t}, nil
+}

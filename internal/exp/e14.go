@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/report"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+// E14Fabric measures how a finite bisection bandwidth changes the
+// checkpointing picture: partner checkpointing ships images through the
+// same fabric the application uses, so its advantage over local writes
+// (E12) erodes as the fabric tightens — and the application itself slows
+// even without checkpointing.
+func E14Fabric(o Options) ([]*report.Table, error) {
+	ranks := pick(o, 64, 16)
+	iters := pick(o, 40, 15)
+	const (
+		interval = 10 * simtime.Millisecond
+		image    = int64(1 << 20)
+	)
+	// Per-rank 1 GB/s filesystem share for the local-write comparator.
+	writeDur := simtime.FromSeconds(float64(image) / (1 << 30))
+	bisections := pick(o,
+		[]float64{0, 400e9, 100e9, 25e9},
+		[]float64{0, 100e9})
+
+	t := report.NewTable("E14: partner checkpointing under fabric contention (transpose, 1MiB images)",
+		"bisection-GB/s", "baseline-makespan", "protocol", "overhead%", "fabric-busy")
+	for _, bis := range bisections {
+		net := o.net()
+		net.BisectionBytesPerSec = bis
+		label := "inf"
+		if bis > 0 {
+			label = report.Cell(bis / 1e9)
+		}
+
+		base, err := buildProg("transpose", ranks, iters, ms(1), 32*1024, o.Seed)
+		if err != nil {
+			return nil, errf("E14", err)
+		}
+		rBase, err := simulate(net, base, o.Seed, 0)
+		if err != nil {
+			return nil, errf("E14", err)
+		}
+
+		// Local writes: no extra fabric traffic.
+		up, err := checkpoint.NewUncoordinated(
+			checkpoint.Params{Interval: interval, Write: writeDur},
+			checkpoint.Staggered, checkpoint.LogParams{})
+		if err != nil {
+			return nil, errf("E14", err)
+		}
+		prog, err := buildProg("transpose", ranks, iters, ms(1), 32*1024, o.Seed)
+		if err != nil {
+			return nil, errf("E14", err)
+		}
+		r, err := simulate(net, prog, o.Seed, 0, sim.Agent(up))
+		if err != nil {
+			return nil, errf("E14", err)
+		}
+		t.AddRow(label, simtime.Duration(rBase.Makespan).String(), "local-write",
+			overheadPct(r, rBase), r.Metrics.FabricBusy.String())
+
+		// Partner: images compete for the bisection.
+		pt, err := checkpoint.NewPartner(checkpoint.PartnerParams{
+			Interval:      interval,
+			SerializeTime: writeDur / 10,
+			CkptBytes:     image,
+			Offsets:       checkpoint.Staggered,
+		})
+		if err != nil {
+			return nil, errf("E14", err)
+		}
+		prog2, err := buildProg("transpose", ranks, iters, ms(1), 32*1024, o.Seed)
+		if err != nil {
+			return nil, errf("E14", err)
+		}
+		r2, err := simulate(net, prog2, o.Seed, 0, sim.Agent(pt))
+		if err != nil {
+			return nil, errf("E14", err)
+		}
+		t.AddRow(label, simtime.Duration(rBase.Makespan).String(), "partner",
+			overheadPct(r2, rBase), r2.Metrics.FabricBusy.String())
+	}
+	t.AddNote("overheads are relative to the baseline at the same bisection; the baseline column shows the app slowing by itself")
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/failure"
+	"checkpointsim/internal/model"
+	"checkpointsim/internal/report"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+// E16TwoLevel compares single-level coordinated checkpointing against the
+// multilevel (SCR/FTI-class) protocol: frequent cheap local checkpoints
+// backed by rare expensive global ones. The win depends on what fraction of
+// failures the local level can serve — the sweep axis.
+func E16TwoLevel(o Options) ([]*report.Table, error) {
+	net := o.net()
+	ranks := pick(o, 64, 16)
+	iters := pick(o, 120, 50)
+	const (
+		globalWrite = 4 * simtime.Millisecond
+		localWrite  = 100 * simtime.Microsecond // 40x cheaper (node-local SSD)
+		restart     = 4 * simtime.Millisecond
+		mtbf        = 2 * simtime.Second // per node: failure-rich regime
+	)
+	coverages := pick(o, []float64{0.5, 0.8, 0.95}, []float64{0.8})
+
+	sys := mtbf.Seconds() / float64(ranks)
+	// Single-level interval: Daly for the full failure rate.
+	tauG := simtime.FromSeconds(model.DalyInterval(globalWrite.Seconds(), sys))
+
+	t := report.NewTable("E16: single-level vs two-level checkpointing under failures",
+		"local-coverage", "protocol", "τ_L/τ_G", "failures", "makespan", "overhead%", "writes(L/G)")
+
+	base, err := buildProg("stencil2d", ranks, iters, ms(1), 4096, o.Seed)
+	if err != nil {
+		return nil, errf("E16", err)
+	}
+	rBase, err := simulate(net, base, o.Seed, 0)
+	if err != nil {
+		return nil, errf("E16", err)
+	}
+
+	// Single-level reference: coordinated at the Daly-optimal interval.
+	cp, err := checkpoint.NewCoordinated(checkpoint.Params{Interval: tauG, Write: globalWrite})
+	if err != nil {
+		return nil, errf("E16", err)
+	}
+	injG, err := failure.NewInjector(failure.Config{
+		MTBF: mtbf, Restart: restart, Kind: failure.RollbackGlobal}, cp)
+	if err != nil {
+		return nil, errf("E16", err)
+	}
+	prog, err := buildProg("stencil2d", ranks, iters, ms(1), 4096, o.Seed)
+	if err != nil {
+		return nil, errf("E16", err)
+	}
+	rG, err := simulate(net, prog, o.Seed, simtime.Time(300*simtime.Second),
+		sim.Agent(cp), sim.Agent(injG))
+	if err != nil {
+		return nil, errf("E16", err)
+	}
+	t.AddRow("-", "single-level", "-/"+tauG.String(), len(injG.Events()),
+		simtime.Duration(rG.Makespan).String(), overheadPct(rG, rBase),
+		report.Cell(cp.Stats().Writes))
+
+	for _, cov := range coverages {
+		// Each level gets its own Daly interval for the failure share it
+		// serves — the standard multilevel optimization.
+		tl0, tg0 := model.TwoLevelIntervals(localWrite.Seconds(), globalWrite.Seconds(), sys, cov)
+		tauL := simtime.FromSeconds(tl0)
+		tauGL := simtime.FromSeconds(tg0)
+		tl, err := checkpoint.NewTwoLevel(checkpoint.TwoLevelParams{
+			LocalInterval: tauL, LocalWrite: localWrite,
+			GlobalInterval: tauGL, GlobalWrite: globalWrite,
+		})
+		if err != nil {
+			return nil, errf("E16", err)
+		}
+		inj, err := failure.NewInjector(failure.Config{
+			MTBF: mtbf, Restart: restart,
+			LocalRestart: restart / 10, LocalCoverage: cov,
+			Kind: failure.RecoverTwoLevel}, tl)
+		if err != nil {
+			return nil, errf("E16", err)
+		}
+		prog, err := buildProg("stencil2d", ranks, iters, ms(1), 4096, o.Seed)
+		if err != nil {
+			return nil, errf("E16", err)
+		}
+		r, err := simulate(net, prog, o.Seed, simtime.Time(300*simtime.Second),
+			sim.Agent(tl), sim.Agent(inj))
+		if err != nil {
+			return nil, errf("E16", err)
+		}
+		local, global := tl.LevelWrites()
+		t.AddRow(cov, "two-level", tauL.String()+"/"+tauGL.String(), len(inj.Events()),
+			simtime.Duration(r.Makespan).String(), overheadPct(r, rBase),
+			report.Cell(local)+"/"+report.Cell(global))
+	}
+	t.AddNote("per-level Daly intervals: τ_L = Daly(δ_L, θ_sys/cov), τ_G = Daly(δ_G, θ_sys/(1−cov)); local restart = R/10")
+	return []*report.Table{t}, nil
+}

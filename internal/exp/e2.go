@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"checkpointsim/internal/noise"
+	"checkpointsim/internal/report"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+// E2Propagation measures how local, uncoordinated interruptions (noise with
+// checkpoint-like amplitude) slow each communication pattern. The
+// amplification column — overhead divided by duty cycle — is the headline:
+// 1.0 means the pattern absorbs interruptions perfectly (EP); larger values
+// mean the dependency structure propagates and compounds them.
+func E2Propagation(o Options) ([]*report.Table, error) {
+	net := o.net()
+	ranks := pick(o, 64, 16)
+	// Runs must span many noise periods: for fixed-period noise the EP
+	// amplification floor is ~1 + period/T, so T >= 100ms keeps it near 1.
+	iters := pick(o, 160, 100)
+	workloads := pick(o,
+		[]string{"ep", "stencil2d", "stencil3d", "sweep", "cg", "transpose"},
+		[]string{"ep", "stencil2d", "sweep"})
+	duties := pick(o, []float64{0.025, 0.05, 0.10, 0.20}, []float64{0.05, 0.20})
+	const period = 10 * simtime.Millisecond
+
+	t := report.NewTable("E2: slowdown from local interruptions (noise period 10ms, random phase)",
+		"workload", "duty%", "slowdown", "overhead%", "amplification")
+	for _, w := range workloads {
+		base, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+		if err != nil {
+			return nil, errf("E2", err)
+		}
+		rBase, err := simulate(net, base, o.Seed, 0)
+		if err != nil {
+			return nil, errf("E2", err)
+		}
+		for _, duty := range duties {
+			prog, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+			if err != nil {
+				return nil, errf("E2", err)
+			}
+			inj, err := noise.NewInjector(noise.Config{
+				Period:   period,
+				Duration: period.Scale(duty),
+			})
+			if err != nil {
+				return nil, errf("E2", err)
+			}
+			r, err := simulate(net, prog, o.Seed, 0, sim.Agent(inj))
+			if err != nil {
+				return nil, errf("E2", err)
+			}
+			ov := overheadPct(r, rBase)
+			t.AddRow(w, duty*100, r.Slowdown(rBase), ov, ov/(duty*100))
+		}
+	}
+	t.AddNote("amplification 1.0 = interruptions fully absorbed; >1 = propagated through messages")
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/model"
+	"checkpointsim/internal/report"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+// E3Coordination measures the cost of one coordinated checkpoint round as
+// the machine grows: the quiesce latency (round start to commit), the full
+// round span, and the decomposition against the closed-form tree latency —
+// the difference is synchronization idling, i.e. waiting for ranks to reach
+// an operation boundary.
+func E3Coordination(o Options) ([]*report.Table, error) {
+	net := o.net()
+	scales := pick(o, []int{16, 64, 256, 1024}, []int{16, 64})
+	params := checkpoint.Params{Interval: 5 * simtime.Millisecond, Write: 500 * simtime.Microsecond}
+
+	t := report.NewTable("E3: coordinated round cost vs scale (stencil2d, 0.5ms ops)",
+		"P", "rounds", "quiesce/round", "tree-model", "sync-idle", "span/round", "ctl-msgs")
+	for _, p := range scales {
+		prog, err := buildProg("stencil2d", p, pick(o, 80, 30), 500*simtime.Microsecond, 4096, o.Seed)
+		if err != nil {
+			return nil, errf("E3", err)
+		}
+		cp, err := checkpoint.NewCoordinated(params)
+		if err != nil {
+			return nil, errf("E3", err)
+		}
+		r, err := simulate(net, prog, o.Seed, 0, sim.Agent(cp))
+		if err != nil {
+			return nil, errf("E3", err)
+		}
+		st := cp.Stats()
+		if st.Rounds == 0 {
+			t.AddRow(p, 0, "-", "-", "-", "-", r.Metrics.CtlMessages)
+			continue
+		}
+		quiesce := st.CoordDelay / simtime.Duration(st.Rounds)
+		span := st.RoundSpan / simtime.Duration(st.Rounds)
+		// The REQ+ACK sweep covers 2·depth hops on an idle machine.
+		treeModel := simtime.FromSeconds(model.CoordinationDelay(p, net, params.CtlBytes))
+		if params.CtlBytes == 0 {
+			treeModel = simtime.FromSeconds(model.CoordinationDelay(p, net, 64))
+		}
+		idle := quiesce - treeModel
+		t.AddRow(p, st.Rounds, quiesce.String(), treeModel.String(), idle.String(),
+			span.String(), r.Metrics.CtlMessages)
+	}
+	t.AddNote("sync-idle = measured quiesce latency minus the pure network tree latency")
+	return []*report.Table{t}, nil
+}

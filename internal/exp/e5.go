@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/report"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+// E5Logging isolates the sender-based message-logging tax: checkpoint
+// writes are disabled (infinite interval is approximated with a huge one
+// and zero write time) so the measured overhead is purely the per-send CPU
+// penalty and its propagation. Latency-bound codes (cg, small messages)
+// respond to α; bandwidth-bound codes (transpose, large blocks) respond to β.
+func E5Logging(o Options) ([]*report.Table, error) {
+	net := o.net()
+	ranks := pick(o, 64, 16)
+	iters := pick(o, 30, 10)
+	type wl struct {
+		name  string
+		bytes int64
+	}
+	wls := pick(o,
+		[]wl{{"cg", 512}, {"stencil2d", 8192}, {"transpose", 32 * 1024}},
+		[]wl{{"cg", 512}, {"stencil2d", 8192}})
+	alphas := []simtime.Duration{0, simtime.Microsecond}
+	betas := pick(o, []float64{0, 0.1, 0.3, 1.0}, []float64{0, 0.3})
+	idle := checkpoint.Params{Interval: simtime.Hour, Write: 0}
+
+	t := report.NewTable("E5: message-logging overhead (no checkpoint writes)",
+		"workload", "msg-bytes", "alpha", "beta(ns/B)", "overhead%", "logged-msgs", "logged-MB")
+	for _, w := range wls {
+		base, err := buildProg(w.name, ranks, iters, ms(1), w.bytes, o.Seed)
+		if err != nil {
+			return nil, errf("E5", err)
+		}
+		rBase, err := simulate(net, base, o.Seed, 0)
+		if err != nil {
+			return nil, errf("E5", err)
+		}
+		for _, a := range alphas {
+			for _, b := range betas {
+				if a == 0 && b == 0 {
+					continue
+				}
+				up, err := checkpoint.NewUncoordinated(idle, checkpoint.Staggered,
+					checkpoint.LogParams{Alpha: a, BetaNsPerByte: b})
+				if err != nil {
+					return nil, errf("E5", err)
+				}
+				prog, err := buildProg(w.name, ranks, iters, ms(1), w.bytes, o.Seed)
+				if err != nil {
+					return nil, errf("E5", err)
+				}
+				r, err := simulate(net, prog, o.Seed, 0, sim.Agent(up))
+				if err != nil {
+					return nil, errf("E5", err)
+				}
+				st := up.Stats()
+				t.AddRow(w.name, w.bytes, a.String(), b, overheadPct(r, rBase),
+					st.LoggedMessages, float64(st.LoggedBytes)/(1<<20))
+			}
+		}
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/failure"
+	"checkpointsim/internal/model"
+	"checkpointsim/internal/report"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+// E8Crossover maps the (scale × logging overhead) grid and reports which
+// protocol wins each cell: by simulation (with failures) at simulable
+// scales, and by the first-order analytic projection both there and at the
+// extreme scales the paper extrapolates to. The expected shape: coordinated
+// wins at small P and expensive logging; uncoordinated wins as P grows.
+func E8Crossover(o Options) ([]*report.Table, error) {
+	net := o.net()
+	scales := pick(o, []int{16, 64, 256}, []int{16, 64})
+	betas := pick(o, []float64{0, 0.2, 0.5, 1.0}, []float64{0, 0.5})
+	iters := pick(o, 80, 30)
+	const (
+		write   = 2 * simtime.Millisecond
+		restart = 2 * simtime.Millisecond
+		mtbf    = 4 * simtime.Second // per node
+	)
+
+	t := report.NewTable("E8a: simulated crossover grid (stencil2d, δ=2ms, θ=4s/node)",
+		"P", "beta(ns/B)", "coord-makespan", "uncoord-makespan", "sim-winner")
+	for _, p := range scales {
+		sys := mtbf.Seconds() / float64(p)
+		tau := simtime.FromSeconds(model.DalyInterval(write.Seconds(), sys))
+		for _, beta := range betas {
+			cp, err := checkpoint.NewCoordinated(checkpoint.Params{Interval: tau, Write: write})
+			if err != nil {
+				return nil, errf("E8", err)
+			}
+			injG, err := failure.NewInjector(failure.Config{
+				MTBF: mtbf, Restart: restart, Kind: failure.RollbackGlobal}, cp)
+			if err != nil {
+				return nil, errf("E8", err)
+			}
+			prog, err := buildProg("stencil2d", p, iters, ms(1), 4096, o.Seed)
+			if err != nil {
+				return nil, errf("E8", err)
+			}
+			rC, err := simulate(net, prog, o.Seed, simtime.Time(300*simtime.Second),
+				sim.Agent(cp), sim.Agent(injG))
+			if err != nil {
+				return nil, errf("E8", err)
+			}
+
+			up, err := checkpoint.NewUncoordinated(checkpoint.Params{Interval: tau, Write: write},
+				checkpoint.Staggered, checkpoint.LogParams{BetaNsPerByte: beta})
+			if err != nil {
+				return nil, errf("E8", err)
+			}
+			injL, err := failure.NewInjector(failure.Config{
+				MTBF: mtbf, Restart: restart, ReplaySpeedup: 2, Kind: failure.ReplayLocal}, up)
+			if err != nil {
+				return nil, errf("E8", err)
+			}
+			prog2, err := buildProg("stencil2d", p, iters, ms(1), 4096, o.Seed)
+			if err != nil {
+				return nil, errf("E8", err)
+			}
+			rU, err := simulate(net, prog2, o.Seed, simtime.Time(300*simtime.Second),
+				sim.Agent(up), sim.Agent(injL))
+			if err != nil {
+				return nil, errf("E8", err)
+			}
+			winner := "coordinated"
+			if rU.Makespan < rC.Makespan {
+				winner = "uncoordinated"
+			}
+			t.AddRow(p, beta, simtime.Duration(rC.Makespan).String(),
+				simtime.Duration(rU.Makespan).String(), winner)
+		}
+	}
+
+	// Analytic projection to extreme scale.
+	mt := report.NewTable("E8b: analytic crossover projection (δ=60s, R=120s, θ=5y/node)",
+		"P", "log-overhead", "eff-coordinated", "eff-uncoordinated", "model-winner")
+	projScales := []int{1024, 16384, 131072, 1048576}
+	for _, p := range projScales {
+		for _, lo := range []float64{0.02, 0.10, 0.30} {
+			pr := model.ProtocolProjection{
+				Nodes:       p,
+				NodeMTBF:    5 * 365.25 * 86400,
+				Write:       60,
+				Restart:     120,
+				CoordDelay:  model.CoordinationDelay(p, net, 64),
+				LogOverhead: lo,
+			}
+			ce, ue := model.CoordinatedEfficiency(pr), model.UncoordinatedEfficiency(pr)
+			winner := "coordinated"
+			if ue > ce {
+				winner = "uncoordinated"
+			}
+			mt.AddRow(p, lo, ce, ue, winner)
+		}
+	}
+	return []*report.Table{t, mt}, nil
+}

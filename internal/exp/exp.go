@@ -1,0 +1,126 @@
+// Package exp defines the reproduction experiments E1–E10: one function
+// per table/figure of the study, each returning report tables that
+// cmd/sweep prints and bench_test.go exercises. DESIGN.md carries the
+// experiment index; EXPERIMENTS.md records measured outputs.
+package exp
+
+import (
+	"fmt"
+
+	"checkpointsim/internal/goal"
+	"checkpointsim/internal/network"
+	"checkpointsim/internal/report"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Net is the LogGOPS parameter set (defaults to network.DefaultParams).
+	Net network.Params
+	// Seed drives all randomness.
+	Seed uint64
+	// Quick shrinks sweeps (scales, iterations, replications) to keep
+	// benches and CI runs short; full runs reproduce the study scales.
+	Quick bool
+}
+
+// DefaultOptions returns the options the full reproduction uses.
+func DefaultOptions() Options {
+	return Options{Net: network.DefaultParams(), Seed: 42}
+}
+
+func (o Options) net() network.Params {
+	if (o.Net == network.Params{}) {
+		return network.DefaultParams()
+	}
+	return o.Net
+}
+
+// Experiment couples an experiment ID to its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Desc  string
+	Run   func(Options) ([]*report.Table, error)
+}
+
+// All returns the experiments in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Simulator validation", "simulated vs closed-form LogGOPS costs for point-to-point and collectives", E1Validation},
+		{"E2", "Checkpoint-as-noise propagation", "slowdown vs duty cycle of local interruptions across communication patterns", E2Propagation},
+		{"E3", "Coordination cost", "per-round coordination latency vs scale, against the tree closed form", E3Coordination},
+		{"E4", "Weak-scaling overhead", "checkpointing overhead vs node count for coordinated and uncoordinated protocols", E4WeakScaling},
+		{"E5", "Logging sensitivity", "slowdown vs per-message logging cost across workload classes", E5Logging},
+		{"E6", "Interval optimization", "simulated runtime across checkpoint intervals vs the Young/Daly optimum", E6Interval},
+		{"E7", "Failures and recovery", "expected runtime vs per-node MTBF: global rollback vs local replay", E7Recovery},
+		{"E8", "Protocol crossover", "who wins on the (scale x logging overhead) grid, simulation and model", E8Crossover},
+		{"E9", "Stagger ablation", "aligned vs staggered vs random uncoordinated checkpoint offsets", E9Stagger},
+		{"E10", "Hierarchical protocol", "cluster-size sweep for coordinate-inside/log-across checkpointing", E10Hierarchical},
+		{"E11", "Non-blocking checkpointing", "blocking vs asynchronous copy-on-write coordinated checkpointing", E11NonBlocking},
+		{"E12", "Partner checkpointing", "local filesystem writes vs diskless buddy transfers over the interconnect", E12Partner},
+		{"E13", "Straggler interaction", "protocol cost under static load imbalance (one slow rank)", E13Straggler},
+		{"E14", "Fabric contention", "partner checkpointing vs local writes under finite bisection bandwidth", E14Fabric},
+		{"E15", "Noise-shape resonance", "fixed duty cycle, swept interruption granularity (why checkpoints are the worst noise)", E15Resonance},
+		{"E16", "Two-level checkpointing", "single-level vs multilevel (SCR/FTI-class) under failures, swept local coverage", E16TwoLevel},
+	}
+}
+
+// ByID finds an experiment by its ID (e.g. "E4").
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// buildProg constructs a named workload.
+func buildProg(name string, ranks, iters int, compute simtime.Duration, bytes int64, seed uint64) (*goal.Program, error) {
+	return workload.FromName(name, workload.CommonConfig{
+		Base: workload.Base{
+			Ranks:      ranks,
+			Iterations: iters,
+			Compute:    compute,
+			Seed:       seed,
+		},
+		Bytes: bytes,
+	})
+}
+
+// simulate runs one configuration to completion.
+func simulate(net network.Params, prog *goal.Program, seed uint64, maxTime simtime.Time, agents ...sim.Agent) (*sim.Result, error) {
+	e, err := sim.New(sim.Config{Net: net, Program: prog, Agents: agents,
+		Seed: seed, MaxTime: maxTime})
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// overheadPct computes the relative makespan increase in percent.
+func overheadPct(r, base *sim.Result) float64 {
+	return r.OverheadPercent(base)
+}
+
+// pick returns quick when o.Quick, else full.
+func pick[T any](o Options, full, quick T) T {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// ms is a shorthand constructor.
+func ms(n int) simtime.Duration { return simtime.Duration(n) * simtime.Millisecond }
+
+// errf wraps an error with experiment context.
+func errf(id string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%s: %w", id, err)
+}

@@ -1,0 +1,311 @@
+package failure
+
+import (
+	"testing"
+
+	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/goal"
+	"checkpointsim/internal/network"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/workload"
+)
+
+func stencilProg(t *testing.T, ranks, iters int) *goal.Program {
+	t.Helper()
+	p, err := workload.Stencil2D(workload.Stencil2DConfig{
+		Base:      workload.Base{Ranks: ranks, Iterations: iters, Compute: simtime.Millisecond, Seed: 1},
+		HaloBytes: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{MTBF: simtime.Hour, Restart: simtime.Second}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Config{
+		{MTBF: 0},
+		{MTBF: -1},
+		{MTBF: 1, Shape: -1},
+		{MTBF: 1, Restart: -1},
+		{MTBF: 1, ReplaySpeedup: 0.5},
+		{MTBF: 1, Kind: RecoveryKind(9)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewInjector(bad[0], checkpoint.None{}); err == nil {
+		t.Error("NewInjector accepted bad config")
+	}
+	if _, err := NewInjector(good, nil); err == nil {
+		t.Error("NewInjector accepted nil protocol")
+	}
+}
+
+func TestRecoveryKindString(t *testing.T) {
+	if RollbackGlobal.String() != "global-rollback" || ReplayLocal.String() != "local-replay" {
+		t.Error("kind names wrong")
+	}
+	if RecoveryKind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+// runFailure runs a stencil under the given protocol + failure config. The
+// MaxTime cap guards against parameter regimes where recovery cannot keep
+// up with the failure rate (a real phenomenon, but fatal to a test).
+func runFailure(t *testing.T, cfg Config, proto checkpoint.Protocol, seed uint64) (*sim.Result, *Injector) {
+	t.Helper()
+	prog := stencilProg(t, 16, 40)
+	inj, err := NewInjector(cfg, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(sim.Config{Net: network.DefaultParams(), Program: prog,
+		Agents: []sim.Agent{proto, inj}, Seed: seed, MaxTime: simtime.Time(5 * simtime.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, inj
+}
+
+func TestGlobalRollbackHitsAllRanks(t *testing.T) {
+	params := checkpoint.Params{Interval: 5 * simtime.Millisecond, Write: 100 * simtime.Microsecond}
+	cp, _ := checkpoint.NewCoordinated(params)
+	// MTBF chosen so failures land mid-run but recovery keeps up (~50ms app
+	// on 16 ranks: system MTBF = 640ms/16 = 40ms); seed 16 yields several.
+	cfg := Config{MTBF: 640 * simtime.Millisecond, Restart: simtime.Millisecond, Kind: RollbackGlobal}
+	r, inj := runFailure(t, cfg, cp, 16)
+	if len(inj.Events()) == 0 {
+		t.Fatal("no failures injected")
+	}
+	ev := inj.Events()[0]
+	// Every rank was seized for the recovery duration of each failure.
+	if r.SeizedCount[Reason] != int64(len(inj.Events()))*16 {
+		t.Errorf("recovery seizures = %d, want %d failures x 16 ranks",
+			r.SeizedCount[Reason], len(inj.Events()))
+	}
+	if ev.Recovery != cfg.Restart+ev.LostWork {
+		t.Errorf("recovery %v != restart %v + lost %v", ev.Recovery, cfg.Restart, ev.LostWork)
+	}
+	if inj.TotalLost() <= 0 || inj.TotalRecovery() <= 0 {
+		t.Error("zero totals")
+	}
+}
+
+func TestLocalReplayHitsOneRank(t *testing.T) {
+	params := checkpoint.Params{Interval: 5 * simtime.Millisecond, Write: 100 * simtime.Microsecond}
+	up, _ := checkpoint.NewUncoordinated(params, checkpoint.Staggered,
+		checkpoint.LogParams{Alpha: simtime.Microsecond})
+	cfg := Config{MTBF: 640 * simtime.Millisecond, Restart: simtime.Millisecond,
+		ReplaySpeedup: 2, Kind: ReplayLocal}
+	r, inj := runFailure(t, cfg, up, 16)
+	if len(inj.Events()) == 0 {
+		t.Fatal("no failures injected")
+	}
+	if r.SeizedCount[Reason] != int64(len(inj.Events())) {
+		t.Errorf("recovery seizures = %d, want %d (one per failure)",
+			r.SeizedCount[Reason], len(inj.Events()))
+	}
+	// Replay at 2x: recovery < restart + lost.
+	for _, ev := range inj.Events() {
+		if ev.Recovery >= cfg.Restart+ev.LostWork && ev.LostWork > 1 {
+			t.Errorf("replay not sped up: recovery %v, lost %v", ev.Recovery, ev.LostWork)
+		}
+	}
+}
+
+func TestLocalReplayLosesLessWork(t *testing.T) {
+	// With the same failure trace, local replay discards less work than
+	// global rollback (per-rank line is at least as fresh as the global
+	// one, and only one rank loses it).
+	params := checkpoint.Params{Interval: 5 * simtime.Millisecond, Write: 100 * simtime.Microsecond}
+	cp, _ := checkpoint.NewCoordinated(params)
+	cfgG := Config{MTBF: 640 * simtime.Millisecond, Restart: simtime.Millisecond, Kind: RollbackGlobal}
+	rG, injG := runFailure(t, cfgG, cp, 16)
+
+	up, _ := checkpoint.NewUncoordinated(params, checkpoint.Staggered, checkpoint.LogParams{})
+	cfgL := Config{MTBF: 640 * simtime.Millisecond, Restart: simtime.Millisecond, Kind: ReplayLocal}
+	rL, injL := runFailure(t, cfgL, up, 16)
+
+	if len(injG.Events()) == 0 || len(injL.Events()) == 0 {
+		t.Skip("no failures with this seed")
+	}
+	// Total machine-seconds of recovery: global charges every rank.
+	globalCost := simtime.Duration(16) * injG.TotalRecovery()
+	localCost := injL.TotalRecovery()
+	if localCost >= globalCost {
+		t.Errorf("local replay machine cost %v >= global %v", localCost, globalCost)
+	}
+	if rG.Makespan <= rL.Makespan {
+		// Not guaranteed for every seed (different traces), but with equal
+		// seeds the failure times coincide and global must be slower.
+		t.Errorf("global rollback makespan %v <= local replay %v", rG.Makespan, rL.Makespan)
+	}
+}
+
+func TestWeibullShapeRuns(t *testing.T) {
+	params := checkpoint.Params{Interval: 5 * simtime.Millisecond, Write: 100 * simtime.Microsecond}
+	up, _ := checkpoint.NewUncoordinated(params, checkpoint.Random, checkpoint.LogParams{})
+	cfg := Config{MTBF: 200 * simtime.Millisecond, Shape: 0.7,
+		Restart: simtime.Millisecond, Kind: ReplayLocal}
+	_, inj := runFailure(t, cfg, up, 3)
+	_ = inj // Weibull arrivals may or may not fire in-window; completing is the test
+}
+
+func TestFailureDeterminism(t *testing.T) {
+	run := func() (simtime.Time, int) {
+		params := checkpoint.Params{Interval: 5 * simtime.Millisecond, Write: 100 * simtime.Microsecond}
+		up, _ := checkpoint.NewUncoordinated(params, checkpoint.Random, checkpoint.LogParams{})
+		cfg := Config{MTBF: 640 * simtime.Millisecond, Restart: simtime.Millisecond, Kind: ReplayLocal}
+		r, inj := runFailure(t, cfg, up, 16)
+		return r.Makespan, len(inj.Events())
+	}
+	m1, n1 := run()
+	m2, n2 := run()
+	if m1 != m2 || n1 != n2 {
+		t.Errorf("failure runs differ: %v/%v, %d/%d", m1, m2, n1, n2)
+	}
+}
+
+func TestFailureBeforeFirstCheckpointLosesEverything(t *testing.T) {
+	// A failure before any checkpoint rolls back to t=0. Without any
+	// checkpoints the run may never converge (which is exactly why one
+	// checkpoints), so cap virtual time and inspect the injected events
+	// regardless of whether the app completed.
+	params := checkpoint.Params{Interval: simtime.Hour, Write: simtime.Millisecond}
+	cp, _ := checkpoint.NewCoordinated(params)
+	cfg := Config{MTBF: 160 * simtime.Millisecond, Restart: simtime.Millisecond, Kind: RollbackGlobal}
+	prog := stencilProg(t, 16, 40)
+	inj, err := NewInjector(cfg, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(sim.Config{Net: network.DefaultParams(), Program: prog,
+		Agents: []sim.Agent{cp, inj}, Seed: 5,
+		MaxTime: simtime.Time(500 * simtime.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = e.Run() // may hit the time cap; the events are what we check
+	if len(inj.Events()) == 0 {
+		t.Fatal("no failures")
+	}
+	ev := inj.Events()[0]
+	// All progress since t=0 is lost: positive, and bounded by wall time
+	// (progress can never exceed elapsed time).
+	if ev.LostWork <= 0 || ev.LostWork > simtime.Duration(ev.Time) {
+		t.Errorf("lost %v, want in (0, %v]", ev.LostWork, ev.Time)
+	}
+}
+
+func TestClusterRollbackHitsOneCluster(t *testing.T) {
+	params := checkpoint.Params{Interval: 5 * simtime.Millisecond, Write: 100 * simtime.Microsecond}
+	hp, err := checkpoint.NewHierarchical(params, 4, checkpoint.LogParams{Alpha: simtime.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MTBF: 640 * simtime.Millisecond, Restart: simtime.Millisecond,
+		ReplaySpeedup: 2, Kind: RollbackCluster}
+	r, inj := runFailure(t, cfg, hp, 16)
+	if len(inj.Events()) == 0 {
+		t.Fatal("no failures injected")
+	}
+	// Each failure seizes exactly the cluster (4 ranks on a 16-rank run).
+	if r.SeizedCount[Reason] != int64(len(inj.Events()))*4 {
+		t.Errorf("recovery seizures = %d, want %d failures x 4 members",
+			r.SeizedCount[Reason], len(inj.Events()))
+	}
+}
+
+func TestClusterMembersShape(t *testing.T) {
+	params := checkpoint.Params{Interval: simtime.Millisecond, Write: 1}
+	hp, _ := checkpoint.NewHierarchical(params, 4, checkpoint.LogParams{})
+	// Run once so the protocol learns the rank count.
+	prog := stencilProg(t, 10, 2)
+	e, _ := sim.New(sim.Config{Net: network.DefaultParams(), Program: prog,
+		Agents: []sim.Agent{hp}, Seed: 1})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := hp.ClusterMembers(5)
+	want := []int{4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("members = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("members = %v, want %v", got, want)
+		}
+	}
+	// Last, short cluster on 10 ranks with size 4: {8, 9}.
+	tail := hp.ClusterMembers(9)
+	if len(tail) != 2 || tail[0] != 8 || tail[1] != 9 {
+		t.Errorf("tail cluster = %v", tail)
+	}
+}
+
+func TestClusterRollbackRequiresClusterProtocol(t *testing.T) {
+	params := checkpoint.Params{Interval: simtime.Millisecond, Write: 1}
+	cp, _ := checkpoint.NewCoordinated(params)
+	cfg := Config{MTBF: simtime.Second, Kind: RollbackCluster}
+	if _, err := NewInjector(cfg, cp); err == nil {
+		t.Error("cluster rollback accepted a protocol without clusters")
+	}
+}
+
+func TestTwoLevelRecoveryDispatch(t *testing.T) {
+	tp := checkpoint.TwoLevelParams{
+		LocalInterval: 2 * simtime.Millisecond, LocalWrite: 100 * simtime.Microsecond,
+		GlobalInterval: 10 * simtime.Millisecond, GlobalWrite: simtime.Millisecond,
+	}
+	tl, err := checkpoint.NewTwoLevel(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MTBF: 320 * simtime.Millisecond, Restart: 2 * simtime.Millisecond,
+		LocalRestart: 200 * simtime.Microsecond, LocalCoverage: 0.7,
+		Kind: RecoverTwoLevel}
+	r, inj := runFailure(t, cfg, tl, 16)
+	if len(inj.Events()) == 0 {
+		t.Fatal("no failures injected")
+	}
+	// Every failure seizes all 16 ranks regardless of level.
+	if r.SeizedCount[Reason] != int64(len(inj.Events()))*16 {
+		t.Errorf("recovery seizures = %d for %d failures",
+			r.SeizedCount[Reason], len(inj.Events()))
+	}
+}
+
+func TestTwoLevelRecoveryRequiresTwoLevelProtocol(t *testing.T) {
+	params := checkpoint.Params{Interval: simtime.Millisecond, Write: 1}
+	cp, _ := checkpoint.NewCoordinated(params)
+	cfg := Config{MTBF: simtime.Second, Kind: RecoverTwoLevel}
+	if _, err := NewInjector(cfg, cp); err == nil {
+		t.Error("two-level recovery accepted a single-level protocol")
+	}
+}
+
+func TestTwoLevelConfigValidation(t *testing.T) {
+	bad := []Config{
+		{MTBF: 1, LocalCoverage: -0.1},
+		{MTBF: 1, LocalCoverage: 1.5},
+		{MTBF: 1, LocalRestart: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package goal
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"checkpointsim/internal/network"
+	"checkpointsim/internal/rng"
+	"checkpointsim/internal/simtime"
+)
+
+func cpNet() network.Params {
+	return network.Params{Latency: 1000, Overhead: 100, Gap: 200, GapPerByte: 1}
+}
+
+func TestCriticalPathCalcChain(t *testing.T) {
+	b := NewBuilder(1)
+	s := b.Seq(0)
+	s.Calc(100)
+	s.Calc(200)
+	s.Calc(300)
+	p := b.MustBuild()
+	d, path := CriticalPath(p, cpNet())
+	if d != 600 {
+		t.Errorf("critical path = %v, want 600", d)
+	}
+	if len(path) != 3 || path[0] != 0 || path[2] != 2 {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestCriticalPathIgnoresParallelWork(t *testing.T) {
+	b := NewBuilder(2)
+	b.Calc(0, 1000)
+	b.Calc(1, 50)
+	p := b.MustBuild()
+	d, path := CriticalPath(p, cpNet())
+	if d != 1000 {
+		t.Errorf("critical path = %v, want 1000", d)
+	}
+	if len(path) != 1 || p.Op(path[0]).Rank != 0 {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestCriticalPathCrossesMessages(t *testing.T) {
+	net := cpNet()
+	b := NewBuilder(2)
+	s0 := b.Seq(0)
+	s0.Calc(5000)
+	s0.Send(1, 0, 11)
+	s1 := b.Seq(1)
+	s1.Recv(0, 0, 11)
+	s1.Calc(7000)
+	p := b.MustBuild()
+	d, path := CriticalPath(p, net)
+	want := simtime.Duration(5000) + net.SendCPU(11) + net.Wire(11) + net.RecvCPU(11) + 7000
+	if d != want {
+		t.Errorf("critical path = %v, want %v", d, want)
+	}
+	if len(path) != 4 {
+		t.Errorf("path = %v (want calc,send,recv,calc)", path)
+	}
+}
+
+func TestCriticalPathEmptyProgram(t *testing.T) {
+	b := NewBuilder(1)
+	p := b.MustBuild()
+	d, path := CriticalPath(p, cpNet())
+	if d != 0 || path != nil {
+		t.Errorf("empty program: %v %v", d, path)
+	}
+}
+
+func TestCriticalPathWildcardsAreLowerBound(t *testing.T) {
+	// Wildcard recvs get no message edge; the bound must still hold below
+	// any simulated makespan (checked against the structural minimum).
+	b := NewBuilder(2)
+	s0 := b.Seq(0)
+	s0.Calc(1000)
+	s0.Send(1, 3, 8)
+	s1 := b.Seq(1)
+	s1.Recv(AnySource, AnyTag, 8)
+	s1.Calc(2000)
+	p := b.MustBuild()
+	d, _ := CriticalPath(p, cpNet())
+	// Without the message edge, rank 1's chain is recvCPU + 2000.
+	if d < 2000 {
+		t.Errorf("bound %v too small", d)
+	}
+}
+
+// Property: critical path is a true lower bound on simulated makespan, and
+// at least the max per-rank serial work.
+func TestQuickCriticalPathLowerBound(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		nranks := r.Intn(5) + 2
+		b := NewBuilder(nranks)
+		seqs := make([]*Sequencer, nranks)
+		for i := range seqs {
+			seqs[i] = b.Seq(i)
+		}
+		iters := r.Intn(4) + 1
+		for it := 0; it < iters; it++ {
+			for i, s := range seqs {
+				s.Calc(simtime.Duration(r.Intn(10000)))
+				next := (i + 1) % nranks
+				prev := (i - 1 + nranks) % nranks
+				sd := s.Fork(KindSend, int32(next), int32(it), int64(r.Intn(2048)+1))
+				rv := s.Fork(KindRecv, int32(prev), int32(it), 0)
+				s.Join(sd, rv)
+			}
+		}
+		p := b.MustBuild()
+		net := network.DefaultParams()
+		cp, path := CriticalPath(p, net)
+		if len(path) == 0 {
+			return false
+		}
+		// Path ops must be connected in order (each consecutive pair linked
+		// by a dep or a message).
+		st := p.Stats()
+		return cp >= st.MaxWork
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	b := NewBuilder(2)
+	s0 := b.Seq(0)
+	s0.Calc(100)
+	s0.Send(1, 0, 64)
+	s1 := b.Seq(1)
+	s1.Recv(0, 0, 64)
+	p := b.MustBuild()
+	var sb strings.Builder
+	if err := WriteDOT(&sb, p, cpNet()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph program",
+		"cluster_0", "cluster_1",
+		"calc 100ns", "send 64B to 1", "recv 64B from 0",
+		"style=dashed", // the message edge
+		"o0 -> o1",     // the dependency edge
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}

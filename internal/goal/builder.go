@@ -1,0 +1,203 @@
+package goal
+
+import (
+	"fmt"
+
+	"checkpointsim/internal/simtime"
+)
+
+// Builder constructs a Program incrementally. It is not safe for concurrent
+// use. Build validates and freezes the graph.
+type Builder struct {
+	numRanks int
+	ops      []Op
+}
+
+// NewBuilder returns a Builder for a program with the given number of ranks.
+// It panics if numRanks is not positive.
+func NewBuilder(numRanks int) *Builder {
+	if numRanks <= 0 {
+		panic(fmt.Sprintf("goal: NewBuilder(%d)", numRanks))
+	}
+	return &Builder{numRanks: numRanks}
+}
+
+// NumRanks returns the rank count the builder was created with.
+func (b *Builder) NumRanks() int { return b.numRanks }
+
+// NumOps returns the number of operations added so far.
+func (b *Builder) NumOps() int { return len(b.ops) }
+
+func (b *Builder) add(op Op) OpID {
+	op.ID = OpID(len(b.ops))
+	b.ops = append(b.ops, op)
+	return op.ID
+}
+
+// Calc adds a computation of the given duration on rank.
+func (b *Builder) Calc(rank int, work simtime.Duration) OpID {
+	return b.add(Op{Kind: KindCalc, Rank: int32(rank), Work: work})
+}
+
+// Send adds a send of bytes from rank to peer with the given tag.
+func (b *Builder) Send(rank, peer, tag int, bytes int64) OpID {
+	return b.add(Op{Kind: KindSend, Rank: int32(rank), Peer: int32(peer),
+		Tag: int32(tag), Bytes: bytes})
+}
+
+// Recv adds a receive on rank expecting bytes from peer (which may be
+// AnySource) with the given tag (which may be AnyTag).
+func (b *Builder) Recv(rank int, peer int32, tag int32, bytes int64) OpID {
+	return b.add(Op{Kind: KindRecv, Rank: int32(rank), Peer: peer,
+		Tag: tag, Bytes: bytes})
+}
+
+// Requires declares that op must not start before all of deps complete.
+// Duplicate edges are tolerated and deduplicated at Build time.
+func (b *Builder) Requires(op OpID, deps ...OpID) {
+	if op < 0 || int(op) >= len(b.ops) {
+		panic(fmt.Sprintf("goal: Requires on unknown op %d", op))
+	}
+	for _, d := range deps {
+		if d < 0 || int(d) >= len(b.ops) {
+			panic(fmt.Sprintf("goal: Requires dep %d unknown", d))
+		}
+		b.ops[op].Deps = append(b.ops[op].Deps, d)
+	}
+}
+
+// SetLabel attaches a symbolic label to an op (used by the text format).
+func (b *Builder) SetLabel(op OpID, label string) {
+	b.ops[op].Label = label
+}
+
+// Build validates the graph and returns the immutable Program.
+func (b *Builder) Build() (*Program, error) {
+	p := &Program{NumRanks: b.numRanks, Ops: b.ops}
+	b.ops = nil // the builder gives up ownership
+	// Deduplicate dependency lists and construct reverse edges.
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		if len(op.Deps) > 1 {
+			seen := make(map[OpID]struct{}, len(op.Deps))
+			kept := op.Deps[:0]
+			for _, d := range op.Deps {
+				if _, dup := seen[d]; !dup {
+					seen[d] = struct{}{}
+					kept = append(kept, d)
+				}
+			}
+			op.Deps = kept
+		}
+	}
+	for i := range p.Ops {
+		for _, d := range p.Ops[i].Deps {
+			p.Ops[d].Outs = append(p.Ops[d].Outs, OpID(i))
+		}
+	}
+	p.byRank = make([][]OpID, p.NumRanks)
+	for i := range p.Ops {
+		r := p.Ops[i].Rank
+		p.byRank[r] = append(p.byRank[r], OpID(i))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for tests and generators whose
+// construction is known-correct.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Sequencer chains operations on a single rank in program order: each
+// operation added through it automatically depends on the previous one.
+// This mirrors how an MPI process executes: a straight-line code path with
+// blocking calls.
+type Sequencer struct {
+	b    *Builder
+	rank int
+	last OpID
+}
+
+// Seq returns a Sequencer for rank whose first operation has no
+// dependencies.
+func (b *Builder) Seq(rank int) *Sequencer {
+	return &Sequencer{b: b, rank: rank, last: NoOp}
+}
+
+// SeqAfter returns a Sequencer for rank whose first operation depends on
+// the given op (NoOp for none).
+func (b *Builder) SeqAfter(rank int, after OpID) *Sequencer {
+	return &Sequencer{b: b, rank: rank, last: after}
+}
+
+func (s *Sequencer) chain(id OpID) OpID {
+	if s.last != NoOp {
+		s.b.Requires(id, s.last)
+	}
+	s.last = id
+	return id
+}
+
+// Calc appends a computation.
+func (s *Sequencer) Calc(work simtime.Duration) OpID {
+	return s.chain(s.b.Calc(s.rank, work))
+}
+
+// Send appends a blocking send.
+func (s *Sequencer) Send(peer, tag int, bytes int64) OpID {
+	return s.chain(s.b.Send(s.rank, peer, tag, bytes))
+}
+
+// Recv appends a blocking receive.
+func (s *Sequencer) Recv(peer int32, tag int32, bytes int64) OpID {
+	return s.chain(s.b.Recv(s.rank, peer, tag, bytes))
+}
+
+// Join makes the next operation additionally depend on the given ops —
+// used to merge forked non-blocking work back into the sequence.
+func (s *Sequencer) Join(ids ...OpID) {
+	if len(ids) == 0 {
+		return
+	}
+	// Insert a zero-length calc as a join node so the sequence has a single
+	// chainable tail.
+	join := s.b.Calc(s.rank, 0)
+	s.b.Requires(join, ids...)
+	if s.last != NoOp {
+		s.b.Requires(join, s.last)
+	}
+	s.last = join
+}
+
+// Fork adds an operation that depends on the current tail but does not
+// advance it — a non-blocking operation running concurrently with the
+// sequence. Returns the forked op for a later Join.
+func (s *Sequencer) Fork(kind Kind, peer int32, tag int32, bytes int64) OpID {
+	var id OpID
+	switch kind {
+	case KindSend:
+		id = s.b.Send(s.rank, int(peer), int(tag), bytes)
+	case KindRecv:
+		id = s.b.Recv(s.rank, peer, tag, bytes)
+	default:
+		panic("goal: Fork supports send and recv only")
+	}
+	if s.last != NoOp {
+		s.b.Requires(id, s.last)
+	}
+	return id
+}
+
+// Last returns the current tail of the sequence (NoOp when empty).
+func (s *Sequencer) Last() OpID { return s.last }
+
+// Rank returns the rank this sequencer appends to.
+func (s *Sequencer) Rank() int { return s.rank }

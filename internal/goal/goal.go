@@ -1,0 +1,282 @@
+// Package goal represents message-passing programs as dependency graphs of
+// operations, in the style of LogGOPSim's GOAL (Group Operation Assembly
+// Language).
+//
+// A program is a set of operations — send, recv, calc — each bound to a
+// rank, connected by happens-before dependencies. The simulator executes any
+// operation whose dependencies are satisfied, subject to CPU and NIC
+// availability; nothing else constrains ordering. Collective algorithms and
+// application workloads are compiled down to these three primitives, which
+// is what lets checkpoint-induced delays propagate realistically: a rank
+// that is late sending delays exactly the ranks whose recvs depend on that
+// message, and no others.
+//
+// The package provides an in-memory Builder API, a Sequencer convenience for
+// program-order chains, validation (rank bounds, acyclicity, send/recv
+// balance), and a textual format with a parser and serializer (see
+// text.go).
+package goal
+
+import (
+	"fmt"
+
+	"checkpointsim/internal/simtime"
+)
+
+// Kind identifies the operation type.
+type Kind uint8
+
+// Operation kinds.
+const (
+	// KindCalc models local computation for a fixed duration.
+	KindCalc Kind = iota
+	// KindSend transmits Bytes to rank Peer with tag Tag.
+	KindSend
+	// KindRecv blocks until a message from Peer (or AnySource) with Tag
+	// (or AnyTag) arrives.
+	KindRecv
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCalc:
+		return "calc"
+	case KindSend:
+		return "send"
+	case KindRecv:
+		return "recv"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Wildcards for receive matching.
+const (
+	// AnySource matches a message from any sender.
+	AnySource int32 = -1
+	// AnyTag matches a message with any tag.
+	AnyTag int32 = -1
+)
+
+// OpID indexes an operation within its Program.
+type OpID int32
+
+// NoOp is the invalid OpID.
+const NoOp OpID = -1
+
+// Op is a single operation in the dependency graph.
+type Op struct {
+	ID    OpID
+	Kind  Kind
+	Rank  int32
+	Peer  int32            // send: destination; recv: source or AnySource
+	Tag   int32            // send: tag; recv: tag or AnyTag
+	Bytes int64            // message size for send/recv
+	Work  simtime.Duration // computation time for calc
+	Label string           // optional symbolic label (from the text format)
+
+	// Deps lists operations that must complete before this one may start.
+	Deps []OpID
+	// Outs is the reverse adjacency: operations that depend on this one.
+	Outs []OpID
+}
+
+// Program is an immutable operation graph over NumRanks ranks.
+type Program struct {
+	NumRanks int
+	Ops      []Op
+
+	byRank [][]OpID // ops of each rank, in creation order
+}
+
+// RankOps returns the IDs of all operations bound to the given rank, in
+// creation order. The returned slice must not be modified.
+func (p *Program) RankOps(rank int) []OpID { return p.byRank[rank] }
+
+// Op returns the operation with the given ID.
+func (p *Program) Op(id OpID) *Op { return &p.Ops[id] }
+
+// Stats summarizes a program.
+type Stats struct {
+	NumRanks  int
+	NumOps    int
+	NumCalc   int
+	NumSend   int
+	NumRecv   int
+	NumDeps   int
+	TotalSent int64            // bytes across all sends
+	TotalWork simtime.Duration // sum of calc durations across all ranks
+	MaxWork   simtime.Duration // max per-rank sum of calc durations
+}
+
+// Stats computes summary statistics for the program.
+func (p *Program) Stats() Stats {
+	s := Stats{NumRanks: p.NumRanks, NumOps: len(p.Ops)}
+	perRank := make([]simtime.Duration, p.NumRanks)
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		s.NumDeps += len(op.Deps)
+		switch op.Kind {
+		case KindCalc:
+			s.NumCalc++
+			s.TotalWork += op.Work
+			perRank[op.Rank] += op.Work
+		case KindSend:
+			s.NumSend++
+			s.TotalSent += op.Bytes
+		case KindRecv:
+			s.NumRecv++
+		}
+	}
+	for _, w := range perRank {
+		if w > s.MaxWork {
+			s.MaxWork = w
+		}
+	}
+	return s
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("ranks=%d ops=%d (calc=%d send=%d recv=%d) deps=%d bytes=%d work=%v",
+		s.NumRanks, s.NumOps, s.NumCalc, s.NumSend, s.NumRecv, s.NumDeps,
+		s.TotalSent, s.TotalWork)
+}
+
+// Validate checks structural invariants: rank and peer bounds, non-negative
+// sizes and durations, dependency IDs in range, acyclicity.
+func (p *Program) Validate() error {
+	if p.NumRanks <= 0 {
+		return fmt.Errorf("goal: program has %d ranks", p.NumRanks)
+	}
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		if op.ID != OpID(i) {
+			return fmt.Errorf("goal: op %d has ID %d", i, op.ID)
+		}
+		if op.Rank < 0 || int(op.Rank) >= p.NumRanks {
+			return fmt.Errorf("goal: op %d rank %d out of range [0,%d)", i, op.Rank, p.NumRanks)
+		}
+		switch op.Kind {
+		case KindSend:
+			if op.Peer < 0 || int(op.Peer) >= p.NumRanks {
+				return fmt.Errorf("goal: send op %d peer %d out of range", i, op.Peer)
+			}
+			if op.Peer == op.Rank {
+				return fmt.Errorf("goal: send op %d is a self-send", i)
+			}
+			if op.Bytes < 0 {
+				return fmt.Errorf("goal: send op %d negative size", i)
+			}
+			if op.Tag < 0 {
+				return fmt.Errorf("goal: send op %d negative tag", i)
+			}
+		case KindRecv:
+			if op.Peer != AnySource && (op.Peer < 0 || int(op.Peer) >= p.NumRanks) {
+				return fmt.Errorf("goal: recv op %d peer %d out of range", i, op.Peer)
+			}
+			if op.Peer == op.Rank {
+				return fmt.Errorf("goal: recv op %d is a self-recv", i)
+			}
+			if op.Bytes < 0 {
+				return fmt.Errorf("goal: recv op %d negative size", i)
+			}
+			if op.Tag != AnyTag && op.Tag < 0 {
+				return fmt.Errorf("goal: recv op %d negative tag", i)
+			}
+		case KindCalc:
+			if op.Work < 0 {
+				return fmt.Errorf("goal: calc op %d negative work", i)
+			}
+		default:
+			return fmt.Errorf("goal: op %d has unknown kind %d", i, op.Kind)
+		}
+		for _, d := range op.Deps {
+			if d < 0 || int(d) >= len(p.Ops) {
+				return fmt.Errorf("goal: op %d dep %d out of range", i, d)
+			}
+			if d == op.ID {
+				return fmt.Errorf("goal: op %d depends on itself", i)
+			}
+			if p.Ops[d].Rank != op.Rank {
+				// Cross-rank ordering must be expressed with messages; a
+				// bare dependency edge has no physical realization.
+				return fmt.Errorf("goal: op %d (rank %d) depends on op %d (rank %d): cross-rank deps are not allowed",
+					i, op.Rank, d, p.Ops[d].Rank)
+			}
+		}
+	}
+	return p.checkAcyclic()
+}
+
+// checkAcyclic runs Kahn's algorithm over the dependency edges.
+func (p *Program) checkAcyclic() error {
+	indeg := make([]int32, len(p.Ops))
+	for i := range p.Ops {
+		indeg[i] = int32(len(p.Ops[i].Deps))
+	}
+	queue := make([]OpID, 0, len(p.Ops))
+	for i := range indeg {
+		if indeg[i] == 0 {
+			queue = append(queue, OpID(i))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, out := range p.Ops[id].Outs {
+			indeg[out]--
+			if indeg[out] == 0 {
+				queue = append(queue, out)
+			}
+		}
+	}
+	if seen != len(p.Ops) {
+		return fmt.Errorf("goal: dependency graph has a cycle (%d of %d ops reachable)",
+			seen, len(p.Ops))
+	}
+	return nil
+}
+
+// CheckBalanced verifies that every (src, dst, tag) channel has equally many
+// sends and non-wildcard recvs, and that wildcard recvs on each rank are
+// covered by surplus sends. A balanced program is guaranteed to terminate
+// under the simulator (no recv waits forever), provided it is acyclic.
+func (p *Program) CheckBalanced() error {
+	type channel struct {
+		src, dst, tag int32
+	}
+	sends := make(map[channel]int)
+	var wildcards int
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		switch op.Kind {
+		case KindSend:
+			sends[channel{op.Rank, op.Peer, op.Tag}]++
+		case KindRecv:
+			if op.Peer == AnySource || op.Tag == AnyTag {
+				wildcards++
+				continue
+			}
+			sends[channel{op.Peer, op.Rank, op.Tag}]--
+		}
+	}
+	surplus := 0
+	for ch, n := range sends {
+		if n < 0 {
+			return fmt.Errorf("goal: channel %d->%d tag %d has %d more recvs than sends",
+				ch.src, ch.dst, ch.tag, -n)
+		}
+		surplus += n
+	}
+	if surplus < wildcards {
+		return fmt.Errorf("goal: %d wildcard recvs but only %d unmatched sends",
+			wildcards, surplus)
+	}
+	if surplus > wildcards {
+		return fmt.Errorf("goal: %d sends have no matching recv", surplus-wildcards)
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+// Package model implements the closed-form checkpointing performance
+// models the simulation results are validated against: Young's and Daly's
+// optimal checkpoint intervals, Daly's expected-runtime model under
+// exponential failures, the binomial-tree coordination cost model, and
+// first-order efficiency-at-scale projections for the coordinated and
+// uncoordinated protocols.
+//
+// All durations are float64 seconds in this package — the closed forms
+// involve exp/sqrt and gain nothing from integer nanoseconds. Conversions
+// from simtime happen at the caller.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"checkpointsim/internal/network"
+)
+
+// YoungInterval returns Young's first-order optimal checkpoint interval
+// τ = sqrt(2·δ·M), where δ is the checkpoint cost and M the (system) MTBF,
+// in seconds.
+func YoungInterval(delta, mtbf float64) float64 {
+	if delta <= 0 || mtbf <= 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(2 * delta * mtbf)
+}
+
+// DalyInterval returns Daly's higher-order optimal interval:
+//
+//	τ = sqrt(2δM)·[1 + (1/3)·sqrt(δ/(2M)) + (1/9)·(δ/(2M))] − δ   for δ < 2M
+//	τ = M                                                          otherwise
+func DalyInterval(delta, mtbf float64) float64 {
+	if delta <= 0 || mtbf <= 0 {
+		return math.NaN()
+	}
+	if delta >= 2*mtbf {
+		return mtbf
+	}
+	x := delta / (2 * mtbf)
+	return math.Sqrt(2*delta*mtbf)*(1+math.Sqrt(x)/3+x/9) - delta
+}
+
+// ExpectedRuntime returns Daly's expected total wall-clock time to complete
+// Ts seconds of useful work with checkpoint cost delta, restart cost r,
+// system MTBF M, and checkpoint interval tau (all seconds), under
+// exponential failures:
+//
+//	T = M·e^{r/M}·(e^{(τ+δ)/M} − 1)·Ts/τ
+func ExpectedRuntime(ts, delta, r, mtbf, tau float64) float64 {
+	if ts < 0 || delta < 0 || r < 0 || mtbf <= 0 || tau <= 0 {
+		return math.NaN()
+	}
+	return mtbf * math.Exp(r/mtbf) * (math.Exp((tau+delta)/mtbf) - 1) * ts / tau
+}
+
+// Efficiency returns useful-work efficiency Ts/T for the given parameters.
+func Efficiency(delta, r, mtbf, tau float64) float64 {
+	t := ExpectedRuntime(1, delta, r, mtbf, tau)
+	if math.IsNaN(t) || t <= 0 {
+		return math.NaN()
+	}
+	return 1 / t
+}
+
+// OptimalIntervalNumeric finds the runtime-minimizing interval by golden-
+// section search over [lo, hi] (seconds). It exists to validate the closed
+// forms and to handle regimes where Daly's expansion degrades.
+func OptimalIntervalNumeric(delta, r, mtbf, lo, hi float64) float64 {
+	if !(lo > 0) || !(hi > lo) {
+		return math.NaN()
+	}
+	f := func(tau float64) float64 { return ExpectedRuntime(1, delta, r, mtbf, tau) }
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 200 && (b-a) > 1e-9*(1+b); i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// SystemMTBF returns the machine MTBF given per-node MTBF and node count.
+func SystemMTBF(nodeMTBF float64, nodes int) float64 {
+	if nodes <= 0 || nodeMTBF <= 0 {
+		return math.NaN()
+	}
+	return nodeMTBF / float64(nodes)
+}
+
+// TreeDepth returns the binomial-tree depth used by the coordination
+// protocol: the maximum popcount over virtual ranks below p.
+func TreeDepth(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	d := 0
+	for v := p - 1; ; v-- {
+		pc := popcount(v)
+		if pc > d {
+			d = pc
+		}
+		// The max popcount below p is attained within the top half.
+		if v <= p/2 {
+			break
+		}
+	}
+	return d
+}
+
+func popcount(v int) int {
+	c := 0
+	for x := v; x > 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// CoordinationDelay returns the closed-form minimum latency of one
+// two-sweep (request + ack) coordination pass over a binomial tree of p
+// ranks with control messages of ctlBytes, on an otherwise idle machine:
+// 2·depth hops, each costing SendCPU + Wire + RecvCPU. Synchronization
+// idling (waiting for ranks to reach an op boundary) comes on top of this —
+// that gap is exactly what experiment E3 measures.
+func CoordinationDelay(p int, net network.Params, ctlBytes int64) float64 {
+	depth := TreeDepth(p)
+	hop := net.SendCPU(ctlBytes) + net.Wire(ctlBytes) + net.RecvCPU(ctlBytes)
+	return 2 * float64(depth) * hop.Seconds()
+}
+
+// ProtocolProjection holds the inputs of a first-order protocol-efficiency
+// projection at one scale.
+type ProtocolProjection struct {
+	// Nodes is the machine size P.
+	Nodes int
+	// NodeMTBF is the per-node MTBF in seconds.
+	NodeMTBF float64
+	// Write is the per-checkpoint write cost δ in seconds.
+	Write float64
+	// Restart is the recovery restart cost in seconds.
+	Restart float64
+	// CoordDelay is the per-round coordination cost in seconds (coordinated
+	// protocols; 0 for uncoordinated).
+	CoordDelay float64
+	// LogOverhead is the fractional slowdown of useful work due to message
+	// logging (uncoordinated protocols; 0 for coordinated).
+	LogOverhead float64
+	// ReplaySpeedup is the log-replay speedup (uncoordinated; 0 → 2).
+	ReplaySpeedup float64
+}
+
+// CoordinatedEfficiency projects the efficiency of globally coordinated
+// checkpointing at the Daly-optimal interval: the effective checkpoint cost
+// is δ + coordination, all ranks lose rolled-back work together.
+func CoordinatedEfficiency(pr ProtocolProjection) float64 {
+	m := SystemMTBF(pr.NodeMTBF, pr.Nodes)
+	deltaEff := pr.Write + pr.CoordDelay
+	tau := DalyInterval(deltaEff, m)
+	if math.IsNaN(tau) || tau <= 0 {
+		return math.NaN()
+	}
+	return Efficiency(deltaEff, pr.Restart, m, tau)
+}
+
+// UncoordinatedEfficiency projects the efficiency of uncoordinated
+// checkpointing with message logging: useful work is stretched by the
+// logging overhead; failures cost only the failed rank's rework, replayed
+// at a speedup, so the machine-level penalty per failure is the restart
+// plus lost/speedup (others largely overlap — the first-order model treats
+// the machine as stalled for that long, a pessimistic bound for loosely
+// coupled codes and a reasonable one for tightly coupled codes).
+func UncoordinatedEfficiency(pr ProtocolProjection) float64 {
+	m := SystemMTBF(pr.NodeMTBF, pr.Nodes)
+	sp := pr.ReplaySpeedup
+	if sp == 0 {
+		sp = 2
+	}
+	tau := DalyInterval(pr.Write, m*sp) // rework is cheaper by the speedup
+	if math.IsNaN(tau) || tau <= 0 {
+		return math.NaN()
+	}
+	eff := Efficiency(pr.Write, pr.Restart, m*sp, tau)
+	return eff / (1 + pr.LogOverhead)
+}
+
+// Crossover reports whether the uncoordinated projection beats the
+// coordinated one at the given point.
+func Crossover(pr ProtocolProjection) bool {
+	return UncoordinatedEfficiency(pr) > CoordinatedEfficiency(pr)
+}
+
+// String renders a projection point for reports.
+func (pr ProtocolProjection) String() string {
+	return fmt.Sprintf("P=%d θ=%.3gs δ=%.3gs R=%.3gs coord=%.3gs log=%.3g",
+		pr.Nodes, pr.NodeMTBF, pr.Write, pr.Restart, pr.CoordDelay, pr.LogOverhead)
+}
+
+// TwoLevelIntervals returns the per-level checkpoint intervals for a
+// two-level protocol: each level is given Daly's optimal interval for the
+// failure rate it actually serves. With system MTBF M and local coverage c
+// (the fraction of failures recoverable from the fast level), the local
+// level sees an effective MTBF of M/c and the global level M/(1−c). The
+// global interval is clamped to at least the local one (levels must not
+// invert). This is the first-order version of the multilevel interval
+// optimization (Di/Cappello-style); experiment E16 shows it is the
+// difference between multilevel checkpointing winning and losing.
+func TwoLevelIntervals(deltaLocal, deltaGlobal, mtbf, coverage float64) (tauLocal, tauGlobal float64) {
+	if !(coverage > 0 && coverage < 1) || mtbf <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	tauLocal = DalyInterval(deltaLocal, mtbf/coverage)
+	tauGlobal = DalyInterval(deltaGlobal, mtbf/(1-coverage))
+	if tauGlobal < tauLocal {
+		tauGlobal = tauLocal
+	}
+	return tauLocal, tauGlobal
+}

@@ -1,0 +1,207 @@
+// Package report renders experiment results as aligned text tables, CSV,
+// and quick ASCII plots — the output layer of the benchmark harness.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is an ordered collection of rows under named columns.
+type Table struct {
+	Title string
+	Cols  []string
+	Notes []string
+	rows  [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// AddNote attaches a caption line printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddRow appends a row; cells are formatted with Cell. It panics if the
+// arity does not match the header.
+func (t *Table) AddRow(cells ...any) {
+	if len(cells) != len(t.Cols) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns",
+			len(cells), len(t.Cols)))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Cell formats one value: floats get four significant digits, NaN prints
+// as "-", everything else uses %v.
+func Cell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		if math.IsNaN(x) {
+			return "-"
+		}
+		return fmt.Sprintf("%.4g", x)
+	case float32:
+		return Cell(float64(x))
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Fprint writes the aligned table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	sep := make([]string, len(t.Cols))
+	hdr := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		hdr[i] = pad(c, widths[i])
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintln(w, strings.Join(hdr, "  "))
+	fmt.Fprintln(w, strings.Join(sep, "  "))
+	for _, row := range t.rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(cells, "  "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+// WriteCSV writes the table as CSV (header row first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Cols); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Point is one (x, y) sample of a plotted series.
+type Point struct{ X, Y float64 }
+
+// Plot renders a quick ASCII scatter of one or more series, each drawn
+// with its own rune. Intended for eyeballing shapes in a terminal, not for
+// publication.
+func Plot(w io.Writer, title string, width, height int, series map[string][]Point) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, pts := range series {
+		for _, p := range pts {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			if first {
+				xmin, xmax, ymin, ymax = p.X, p.X, p.Y, p.Y
+				first = false
+				continue
+			}
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+		}
+	}
+	if first {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	marks := []rune("*o+x#@%&")
+	names := sortedKeys(series)
+	for si, name := range names {
+		mark := marks[si%len(marks)]
+		for _, p := range series[name] {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			x := int((p.X - xmin) / (xmax - xmin) * float64(width-1))
+			y := int((p.Y - ymin) / (ymax - ymin) * float64(height-1))
+			grid[height-1-y][x] = mark
+		}
+	}
+	fmt.Fprintf(w, "%s  [y: %.4g..%.4g, x: %.4g..%.4g]\n", title, ymin, ymax, xmin, xmax)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", string(row))
+	}
+	legend := make([]string, 0, len(names))
+	for si, name := range names {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si%len(marks)], name))
+	}
+	fmt.Fprintln(w, strings.Join(legend, "  "))
+}
+
+func sortedKeys(m map[string][]Point) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

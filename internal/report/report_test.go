@@ -1,0 +1,105 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCell(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{3.14159265, "3.142"},
+		{float32(2.5), "2.5"},
+		{math.NaN(), "-"},
+		{42, "42"},
+		{"abc", "abc"},
+	}
+	for _, c := range cases {
+		if got := Cell(c.in); got != c.want {
+			t.Errorf("Cell(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("betabetabeta", 2)
+	tb.AddNote("a caption")
+	s := tb.String()
+	for _, want := range []string{"== demo ==", "name", "value", "alpha", "betabetabeta", "note: a caption"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	// Columns align: each row has the same rune count up to trailing cell.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines:\n%s", s)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on arity mismatch")
+		}
+	}()
+	NewTable("t", "a", "b").AddRow(1)
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("t", "x", "y")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("a,b", "line")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "x,y\n") {
+		t.Errorf("missing header: %q", got)
+	}
+	if !strings.Contains(got, `"a,b"`) {
+		t.Errorf("comma cell not quoted: %q", got)
+	}
+}
+
+func TestPlot(t *testing.T) {
+	var sb strings.Builder
+	Plot(&sb, "shape", 40, 8, map[string][]Point{
+		"lin": {{0, 0}, {1, 1}, {2, 2}},
+		"sq":  {{0, 0}, {1, 1}, {2, 4}},
+	})
+	s := sb.String()
+	if !strings.Contains(s, "shape") || !strings.Contains(s, "*=lin") || !strings.Contains(s, "o=sq") {
+		t.Errorf("plot output wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Errorf("marks missing:\n%s", s)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var sb strings.Builder
+	Plot(&sb, "none", 40, 8, map[string][]Point{"e": nil})
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("empty plot output: %q", sb.String())
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	var sb strings.Builder
+	Plot(&sb, "flat", 2, 2, map[string][]Point{
+		"p": {{1, 5}, {1, 5}},
+	})
+	if sb.Len() == 0 {
+		t.Error("no output for degenerate plot")
+	}
+}

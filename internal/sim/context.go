@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+
+	"checkpointsim/internal/rng"
+	"checkpointsim/internal/simtime"
+)
+
+// This file is the agent-facing API: everything a checkpointing protocol,
+// noise generator, or failure injector may do to a running simulation.
+
+// Now returns the current simulated time.
+func (c *Context) Now() simtime.Time { return c.eng.now }
+
+// NumRanks returns the number of ranks in the simulated application.
+func (c *Context) NumRanks() int { return c.eng.prog.NumRanks }
+
+// Rand returns the simulation's deterministic random source. Agents must
+// draw from it only inside event callbacks (Init, timers, deliveries), where
+// the total event order makes consumption deterministic.
+func (c *Context) Rand() *rng.Source { return c.eng.rand }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently reorder causality.
+func (c *Context) At(t simtime.Time, fn func()) {
+	if t < c.eng.now {
+		panic(fmt.Sprintf("sim: At(%v) is in the past (now %v)", t, c.eng.now))
+	}
+	c.eng.queue.Push(t, event{kind: evTimer, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (c *Context) After(d simtime.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After(%v) negative", d))
+	}
+	c.At(c.eng.now.Add(d), fn)
+}
+
+// SeizeCPU requests exclusive use of rank's CPU for duration d, accounted
+// under the given reason (e.g. "checkpoint", "recovery", "noise"). The
+// seizure is non-preemptive: it begins once the currently running job (if
+// any) completes, but takes precedence over all queued application work.
+// done, if non-nil, is called with the completion time.
+//
+// This is the primitive behind checkpoint writes, recovery rework, and
+// injected noise: the rank stops making application progress and the
+// resulting delay reaches other ranks only through message dependencies.
+func (c *Context) SeizeCPU(rank int, d simtime.Duration, reason string, done func(end simtime.Time)) {
+	if rank < 0 || rank >= len(c.eng.ranks) {
+		panic(fmt.Sprintf("sim: SeizeCPU rank %d out of range", rank))
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("sim: SeizeCPU negative duration %v", d))
+	}
+	st := &c.eng.ranks[rank]
+	st.seizeQ.push(job{kind: jobSeize, cost: d, reason: reason, fn: done})
+	c.eng.dispatch(rank)
+}
+
+// HoldApp closes a gate on rank's application progress: no new application
+// job (compute, send, receive processing) is granted the CPU until the
+// returned release function is called. Control traffic and seizures still
+// flow — this models a checkpoint daemon quiescing the application while
+// the MPI progress engine keeps servicing protocol messages. Holds nest;
+// release is idempotent. Held time is accounted in Result.HeldTime under
+// the given reason, measured from hold to release.
+func (c *Context) HoldApp(rank int, reason string) (release func()) {
+	if rank < 0 || rank >= len(c.eng.ranks) {
+		panic(fmt.Sprintf("sim: HoldApp rank %d out of range", rank))
+	}
+	st := &c.eng.ranks[rank]
+	st.held++
+	start := c.eng.now
+	released := false
+	return func() {
+		if released {
+			return
+		}
+		released = true
+		st.held--
+		if st.held < 0 {
+			panic("sim: HoldApp release underflow")
+		}
+		c.eng.heldTime[reason] += c.eng.now.Sub(start)
+		c.eng.heldCnt[reason]++
+		c.eng.dispatch(rank)
+	}
+}
+
+// ScaleCPU slows rank's CPU by the given factor (> 1): every job granted
+// while the scale is active costs factor× its nominal time, except service
+// seizures (whose durations are absolute). This models background
+// interference — copy-on-write faults and I/O from an asynchronous
+// checkpoint write, a polluted cache, a co-scheduled daemon — as opposed to
+// SeizeCPU's full interruptions. Scales nest multiplicatively; the returned
+// restore function removes this contribution (idempotent). The extra time
+// is accounted per rank in Result.RankScaledExtra.
+func (c *Context) ScaleCPU(rank int, factor float64) (restore func()) {
+	if rank < 0 || rank >= len(c.eng.ranks) {
+		panic(fmt.Sprintf("sim: ScaleCPU rank %d out of range", rank))
+	}
+	if !(factor >= 1) { // also rejects NaN
+		panic(fmt.Sprintf("sim: ScaleCPU factor %v < 1", factor))
+	}
+	st := &c.eng.ranks[rank]
+	st.scales = append(st.scales, factor)
+	idx := len(st.scales) - 1
+	removed := false
+	return func() {
+		if removed {
+			return
+		}
+		removed = true
+		// Neutralize rather than delete: later restores hold later indices.
+		st.scales[idx] = 1
+		// Compact fully-neutral tails so long runs don't accumulate slots.
+		for len(st.scales) > 0 && st.scales[len(st.scales)-1] == 1 {
+			st.scales = st.scales[:len(st.scales)-1]
+		}
+	}
+}
+
+// SendControl sends a protocol control message of the given size from src
+// to dst. The message costs SendCPU(bytes) on the sender, traverses the
+// network under the same LogGOPS parameters as application traffic, and
+// costs RecvCPU(bytes) on the receiver before deliver runs (with the
+// delivery completion time). Control messages contend with application work
+// for both CPUs and the sender NIC — coordination is never free.
+func (c *Context) SendControl(src, dst int, bytes int64, deliver func(at simtime.Time)) {
+	n := len(c.eng.ranks)
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		panic(fmt.Sprintf("sim: SendControl %d->%d out of range", src, dst))
+	}
+	if src == dst {
+		panic("sim: SendControl to self")
+	}
+	if bytes < 0 {
+		panic("sim: SendControl negative size")
+	}
+	m := &message{kind: msgCtl, src: int32(src), dst: int32(dst), bytes: bytes,
+		wire: bytes, deliver: deliver}
+	st := &c.eng.ranks[src]
+	st.ctlQ.push(job{kind: jobCtlSend, cost: c.eng.net.SendCPU(bytes), msg: m})
+	c.eng.dispatch(src)
+}
+
+// OpsRemaining returns the number of application operations not yet
+// completed. Agents may use it to stop periodic activity near the end.
+func (c *Context) OpsRemaining() int { return c.eng.opsLeft }
+
+// RankProgress returns the completion time of the most recently finished
+// application op on rank (zero if none yet). Protocols use it to reason
+// about how far a rank has progressed.
+func (c *Context) RankProgress(rank int) simtime.Time {
+	return c.eng.ranks[rank].finish
+}
+
+// RankBusy returns the cumulative application CPU time rank has executed so
+// far — its useful progress. Recovery models use deltas of this (progress
+// since the last recovery line) as the rework a rollback discards; wall
+// time would overcount by including checkpoint writes, coordination, and
+// prior recoveries, which are not re-executed.
+func (c *Context) RankBusy(rank int) simtime.Duration {
+	return c.eng.ranks[rank].busy
+}

@@ -1,0 +1,189 @@
+package sim
+
+// Randomized cross-validation: arbitrary programs with arbitrary agent
+// perturbations must respect the engine's global invariants. These tests
+// are the strongest correctness net in the repository — every subsystem
+// (matching, rendezvous, NIC serialization, seizures, gates, scaling,
+// control traffic) feeds into them.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"checkpointsim/internal/goal"
+	"checkpointsim/internal/network"
+	"checkpointsim/internal/rng"
+	"checkpointsim/internal/simtime"
+)
+
+// randomProgram builds a balanced program with random structure: per-rank
+// compute chains, ring exchanges, random pairwise messages, and occasional
+// rendezvous-sized payloads.
+func randomProgram(r *rng.Source) *goal.Program {
+	nranks := r.Intn(6) + 2
+	b := goal.NewBuilder(nranks)
+	seqs := make([]*goal.Sequencer, nranks)
+	for i := range seqs {
+		seqs[i] = b.Seq(i)
+	}
+	iters := r.Intn(5) + 1
+	for it := 0; it < iters; it++ {
+		for i, s := range seqs {
+			s.Calc(simtime.Duration(r.Intn(200000)))
+			size := int64(r.Intn(1024) + 1)
+			if r.Float64() < 0.2 {
+				size = int64(r.Intn(256*1024) + 64*1024) // rendezvous range
+			}
+			next := (i + 1) % nranks
+			prev := (i - 1 + nranks) % nranks
+			sd := s.Fork(goal.KindSend, int32(next), int32(it), size)
+			rv := s.Fork(goal.KindRecv, int32(prev), int32(it), 0)
+			s.Join(sd, rv)
+		}
+		// Occasional extra pairwise exchange with a random partner pattern.
+		if r.Float64() < 0.5 && nranks >= 2 {
+			a := r.Intn(nranks)
+			c := (a + 1 + r.Intn(nranks-1)) % nranks
+			sa, sc := seqs[a], seqs[c]
+			tag := int32(100 + it)
+			f1 := sa.Fork(goal.KindSend, int32(c), tag, 64)
+			f2 := sa.Fork(goal.KindRecv, int32(c), tag, 64)
+			sa.Join(f1, f2)
+			g1 := sc.Fork(goal.KindSend, int32(a), tag, 64)
+			g2 := sc.Fork(goal.KindRecv, int32(a), tag, 64)
+			sc.Join(g1, g2)
+		}
+	}
+	return b.MustBuild()
+}
+
+// chaosAgent applies random (but deterministic, seeded) perturbations:
+// seizures, app gates, CPU scaling, and control chatter.
+type chaosAgent struct {
+	seed uint64
+}
+
+func (a *chaosAgent) Init(ctx *Context) {
+	r := rng.New(a.seed)
+	n := ctx.NumRanks()
+	for i := 0; i < 10; i++ {
+		rank := r.Intn(n)
+		when := simtime.Time(r.Intn(1000000))
+		switch r.Intn(4) {
+		case 0:
+			d := simtime.Duration(r.Intn(50000))
+			ctx.At(when, func() { ctx.SeizeCPU(rank, d, "chaos", nil) })
+		case 1:
+			hold := simtime.Duration(r.Intn(50000) + 1)
+			ctx.At(when, func() {
+				release := ctx.HoldApp(rank, "chaos")
+				ctx.After(hold, release)
+			})
+		case 2:
+			f := 1 + r.Float64()
+			span := simtime.Duration(r.Intn(50000) + 1)
+			ctx.At(when, func() {
+				restore := ctx.ScaleCPU(rank, f)
+				ctx.After(span, restore)
+			})
+		case 3:
+			if n < 2 {
+				continue
+			}
+			dst := (rank + 1 + r.Intn(n-1)) % n
+			ctx.At(when, func() { ctx.SendControl(rank, dst, 32, nil) })
+		}
+	}
+}
+
+func TestFuzzInvariants(t *testing.T) {
+	net := network.DefaultParams()
+	net.RendezvousThreshold = 64 * 1024
+	f := func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		prog := randomProgram(r)
+		cp, _ := goal.CriticalPath(prog, net)
+
+		runOnce := func() *Result {
+			eng, err := New(Config{Net: net, Program: prog,
+				Agents: []Agent{&chaosAgent{seed: uint64(seed) + 1}},
+				Seed:   uint64(seed), MaxEvents: 50_000_000})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return res
+		}
+		a := runOnce()
+
+		// Invariant 1: the contention-free critical path lower-bounds the
+		// simulated makespan.
+		if simtime.Duration(a.Makespan) < cp {
+			t.Errorf("seed %d: makespan %v < critical path %v", seed, a.Makespan, cp)
+			return false
+		}
+		// Invariant 2: per-rank conservation — a rank's accounted CPU
+		// occupancy (app + control + seized, all non-overlapping intervals
+		// completing before the simulation ends) cannot exceed the makespan.
+		for i := range a.RankBusy {
+			occupied := a.RankBusy[i] + a.RankCtlBusy[i] + a.RankSeized[i]
+			if occupied > simtime.Duration(a.Makespan) {
+				t.Errorf("seed %d: rank %d occupied %v > makespan %v",
+					seed, i, occupied, a.Makespan)
+				return false
+			}
+			if a.RankBusy[i] < 0 || a.RankCtlBusy[i] < 0 || a.RankSeized[i] < 0 {
+				t.Errorf("seed %d: negative accounting on rank %d", seed, i)
+				return false
+			}
+		}
+		// Invariant 3: every message matched exactly once.
+		st := prog.Stats()
+		if a.Metrics.Matches != int64(st.NumSend) {
+			t.Errorf("seed %d: %d matches for %d sends", seed, a.Metrics.Matches, st.NumSend)
+			return false
+		}
+		// Invariant 4: bit-exact determinism.
+		b := runOnce()
+		if a.Makespan != b.Makespan || a.Events != b.Events || a.Metrics != b.Metrics {
+			t.Errorf("seed %d: nondeterministic", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuzzWithFabric(t *testing.T) {
+	net := network.DefaultParams()
+	net.BisectionBytesPerSec = 10e9
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		prog := randomProgram(r)
+		eng, err := New(Config{Net: net, Program: prog, Seed: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return false
+		}
+		// Unconstrained rerun is never slower.
+		net2 := net
+		net2.BisectionBytesPerSec = 0
+		eng2, _ := New(Config{Net: net2, Program: prog, Seed: uint64(seed)})
+		res2, err := eng2.Run()
+		if err != nil {
+			return false
+		}
+		return res.Makespan >= res2.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,640 @@
+// Package sim implements the discrete-event simulator that executes GOAL
+// programs over the LogGOPS network model.
+//
+// # Execution model
+//
+// Each rank has one CPU and one NIC. Operations whose dependencies are
+// satisfied compete for the CPU; the CPU runs one job at a time,
+// non-preemptively. Jobs are granted FIFO in the order they became ready,
+// except that service seizures (checkpoint writes, recovery — see SeizeCPU)
+// take precedence over application work at the next grant. The NIC is
+// modeled by per-rank injection serialization: consecutive messages from one
+// rank are spaced by at least g + (s-1)·G.
+//
+//   - calc: occupies the CPU for the op's Work duration.
+//   - send (eager, size < S): occupies the CPU for o + (s-1)·O, then injects;
+//     the message arrives at the destination L + (s-1)·G after injection and
+//     the op completes when the CPU part ends.
+//   - send (rendezvous, size ≥ S): occupies the CPU for o and injects an RTS
+//     envelope. When the receiver has both the RTS and a matching posted
+//     receive, it spends o to return a CTS; on CTS arrival the sender spends
+//     o + (s-1)·O to push the data and the send completes. The receive
+//     completes after the data arrives and the receiver spends o + (s-1)·O.
+//   - recv: posts for matching as soon as its dependencies are satisfied
+//     (posting itself is free); when a matching message arrives, the
+//     receiver's CPU spends o + (s-1)·O and the op completes.
+//
+// Matching follows MPI semantics: per-(source, destination) channels are
+// non-overtaking, receives match in post order, unexpected messages queue in
+// arrival order, and AnySource/AnyTag wildcards are honored.
+//
+// # Protocol agents
+//
+// Checkpointing protocols, noise generators, and failure injectors attach as
+// Agents. Agents schedule timers, exchange control messages that traverse
+// the same network (and contend for the same CPUs), seize rank CPUs to
+// model checkpoint writes or recovery, and tax application sends (message
+// logging) via the SendHook interface. Delay caused by any of these reaches
+// other ranks only through message dependencies — this is the mechanism the
+// whole study quantifies.
+//
+// # Determinism
+//
+// Simulated time is integer nanoseconds, the event queue breaks ties by
+// insertion order, and all randomness flows from the seeded generator in
+// package rng, so a given configuration always produces bit-identical
+// results.
+package sim
+
+import (
+	"fmt"
+
+	"checkpointsim/internal/eventq"
+	"checkpointsim/internal/goal"
+	"checkpointsim/internal/network"
+	"checkpointsim/internal/rng"
+	"checkpointsim/internal/simtime"
+)
+
+// Agent is a protocol component attached to a simulation. Init is called
+// once, before any event is processed; the agent keeps the Context to
+// schedule timers, send control messages, and seize CPUs during the run.
+type Agent interface {
+	Init(ctx *Context)
+}
+
+// SendHook is implemented by agents that tax application sends (e.g.
+// sender-based message logging). The returned duration is added to the
+// sender's CPU cost for that message. Hooks must be pure functions of their
+// arguments and agent state; they run at send-start time.
+type SendHook interface {
+	SendPenalty(src, dst int, bytes int64) simtime.Duration
+}
+
+// Config describes one simulation.
+type Config struct {
+	// Net is the LogGOPS parameter set.
+	Net network.Params
+	// Program is the application to execute.
+	Program *goal.Program
+	// Agents are the protocol components (checkpointing, noise, failures).
+	Agents []Agent
+	// Seed feeds the simulation's random stream (timers with jitter,
+	// failure draws). Runs with equal Config produce identical results.
+	Seed uint64
+	// MaxEvents aborts runaway simulations; 0 means 2^62.
+	MaxEvents int64
+	// MaxTime aborts simulations that pass this virtual time; 0 = no cap.
+	MaxTime simtime.Time
+	// Trace, when non-nil, receives one record per completed CPU job —
+	// the raw material for timelines and Gantt-style visualizations. It
+	// runs synchronously on the simulation's hot path; keep it cheap.
+	Trace func(TraceEvent)
+}
+
+// TraceEvent describes one completed CPU occupancy on one rank.
+type TraceEvent struct {
+	Rank       int
+	Kind       string // "calc", "send", "recv", "ctl", "seize:<reason>"
+	Start, End simtime.Time
+	Op         goal.OpID // NoOp for non-application jobs
+}
+
+// traceKind maps job kinds to trace labels.
+func traceKind(j *job) (string, goal.OpID) {
+	switch j.kind {
+	case jobCalc:
+		return "calc", j.op
+	case jobSendEager, jobSendRTS:
+		return "send", j.op
+	case jobSendData:
+		return "send", j.msg.op
+	case jobRecvDone:
+		return "recv", j.op
+	case jobCtlSend, jobCtlRecv:
+		return "ctl", goal.NoOp
+	case jobSeize:
+		return "seize:" + j.reason, goal.NoOp
+	}
+	return "?", goal.NoOp
+}
+
+type evKind uint8
+
+const (
+	evJobDone evKind = iota // rank's running CPU job completed
+	evArrive                // message arrival at msg.dst
+	evTimer                 // agent timer callback
+)
+
+type event struct {
+	kind evKind
+	rank int32
+	msg  *message
+	fn   func()
+}
+
+type msgKind uint8
+
+const (
+	msgEager msgKind = iota
+	msgRTS
+	msgCTS
+	msgData
+	msgCtl
+)
+
+// message is anything traversing the network.
+type message struct {
+	kind     msgKind
+	src, dst int32
+	tag      int32
+	bytes    int64              // payload size (app size carried for RTS/CTS bookkeeping)
+	wire     int64              // bytes that actually occupy NIC and wire
+	op       goal.OpID          // originating send op (app messages)
+	recvOp   goal.OpID          // matched recv op (CTS/data)
+	deliver  func(simtime.Time) // control-message delivery callback
+}
+
+type jobKind uint8
+
+const (
+	jobCalc jobKind = iota
+	jobSendEager
+	jobSendRTS
+	jobSendData // triggered by CTS
+	jobRecvDone // receiver-side processing of a matched message
+	jobCtlSend
+	jobCtlRecv
+	jobSeize
+)
+
+// job is a unit of CPU occupancy on one rank.
+type job struct {
+	kind   jobKind
+	cost   simtime.Duration
+	op     goal.OpID
+	msg    *message
+	reason string             // seizures: accounting key
+	fn     func(simtime.Time) // seizures/control: completion callback
+}
+
+// postedRecv is a receive waiting for a matching message.
+type postedRecv struct {
+	op goal.OpID
+}
+
+type rankState struct {
+	running    bool
+	runningJob job
+	jobStart   simtime.Time
+	// Three CPU queues, granted in this order: service seizures (checkpoint
+	// writes, recovery, noise), then control/progress traffic, then — only
+	// when no hold gate is closed — application work.
+	seizeQ fifo[job]
+	ctlQ   fifo[job]
+	appQ   fifo[job]
+	// held counts open HoldApp gates; application jobs are not granted the
+	// CPU while held > 0.
+	held int
+	// scales holds active ScaleCPU factors; their product multiplies the
+	// cost of every non-seizure job at grant time.
+	scales      []float64
+	scaledExtra simtime.Duration
+	nicFreeAt   simtime.Time
+	posted      []postedRecv
+	unexpected  []*message
+	// lastArrival enforces non-overtaking per destination: keyed by dst.
+	lastArrival map[int32]simtime.Time
+	finish      simtime.Time
+	busy        simtime.Duration // CPU time spent on application jobs
+	ctlBusy     simtime.Duration // CPU time spent on control processing
+	seizedBusy  simtime.Duration // CPU time spent seized
+}
+
+// fifo is a slice-backed queue with an advancing head.
+type fifo[T any] struct {
+	items []T
+	head  int
+}
+
+func (f *fifo[T]) push(v T) { f.items = append(f.items, v) }
+func (f *fifo[T]) empty() bool {
+	return f.head >= len(f.items)
+}
+func (f *fifo[T]) pop() T {
+	v := f.items[f.head]
+	var zero T
+	f.items[f.head] = zero
+	f.head++
+	if f.head == len(f.items) {
+		f.items = f.items[:0]
+		f.head = 0
+	}
+	return v
+}
+
+// Context is the API surface the engine exposes to agents. It is the engine
+// itself; agents hold it for the duration of the run.
+type Context struct {
+	eng *Engine
+}
+
+// Engine executes one simulation. Create with New, run once with Run.
+type Engine struct {
+	cfg        Config
+	prog       *goal.Program
+	net        network.Params
+	queue      eventq.Queue[event]
+	now        simtime.Time
+	ranks      []rankState
+	depsLeft   []int32
+	opsLeft    int
+	hooks      []SendHook
+	rand       *rng.Source
+	events     int64
+	metrics    Metrics
+	fabricFree simtime.Time
+	seizeTime  map[string]simtime.Duration
+	seizeCnt   map[string]int64
+	heldTime   map[string]simtime.Duration
+	heldCnt    map[string]int64
+	ran        bool
+}
+
+// Metrics accumulates global counters during a run.
+type Metrics struct {
+	AppMessages   int64
+	AppBytes      int64
+	CtlMessages   int64
+	CtlBytes      int64
+	Rendezvous    int64
+	Matches       int64
+	UnexpectedMax int
+	PostedMax     int
+	// FabricBusy is the total shared-fabric occupancy (only accumulated
+	// when a finite bisection bandwidth is configured).
+	FabricBusy simtime.Duration
+}
+
+// New validates the configuration and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("sim: nil program")
+	}
+	if err := cfg.Net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Program.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 1 << 62
+	}
+	e := &Engine{
+		cfg:       cfg,
+		prog:      cfg.Program,
+		net:       cfg.Net,
+		ranks:     make([]rankState, cfg.Program.NumRanks),
+		depsLeft:  make([]int32, len(cfg.Program.Ops)),
+		opsLeft:   len(cfg.Program.Ops),
+		rand:      rng.New(cfg.Seed),
+		seizeTime: make(map[string]simtime.Duration),
+		seizeCnt:  make(map[string]int64),
+		heldTime:  make(map[string]simtime.Duration),
+		heldCnt:   make(map[string]int64),
+	}
+	for i := range e.ranks {
+		e.ranks[i].lastArrival = make(map[int32]simtime.Time)
+	}
+	for _, a := range cfg.Agents {
+		if h, ok := a.(SendHook); ok {
+			e.hooks = append(e.hooks, h)
+		}
+	}
+	return e, nil
+}
+
+// Run executes the simulation to completion and returns its results. An
+// engine runs once; calling Run again returns an error.
+func (e *Engine) Run() (*Result, error) {
+	if e.ran {
+		return nil, fmt.Errorf("sim: engine already ran")
+	}
+	e.ran = true
+
+	ctx := &Context{eng: e}
+	for _, a := range e.cfg.Agents {
+		a.Init(ctx)
+	}
+	// Activate all initially-ready operations.
+	for i := range e.prog.Ops {
+		e.depsLeft[i] = int32(len(e.prog.Ops[i].Deps))
+	}
+	for i := range e.prog.Ops {
+		if e.depsLeft[i] == 0 {
+			e.activate(goal.OpID(i))
+		}
+	}
+
+	for e.opsLeft > 0 {
+		if e.queue.Len() == 0 {
+			return nil, e.deadlockError()
+		}
+		t, ev := e.queue.Pop()
+		if t < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = t
+		e.events++
+		if e.events > e.cfg.MaxEvents {
+			return nil, fmt.Errorf("sim: event cap %d exceeded at t=%v (%d ops left)",
+				e.cfg.MaxEvents, e.now, e.opsLeft)
+		}
+		if e.cfg.MaxTime > 0 && e.now > e.cfg.MaxTime {
+			return nil, fmt.Errorf("sim: time cap %v exceeded (%d ops left)",
+				e.cfg.MaxTime, e.opsLeft)
+		}
+		switch ev.kind {
+		case evJobDone:
+			e.jobDone(int(ev.rank))
+		case evArrive:
+			e.arrive(ev.msg)
+		case evTimer:
+			ev.fn()
+		}
+	}
+	return e.buildResult(), nil
+}
+
+func (e *Engine) deadlockError() error {
+	for i := range e.prog.Ops {
+		if e.depsLeft[i] >= 0 && !e.opDoneFlag(goal.OpID(i)) {
+			op := e.prog.Op(goal.OpID(i))
+			return fmt.Errorf("sim: deadlock at t=%v with %d ops left; first stuck op: rank %d %s peer=%d tag=%d",
+				e.now, e.opsLeft, op.Rank, op.Kind, op.Peer, op.Tag)
+		}
+	}
+	return fmt.Errorf("sim: deadlock at t=%v with %d ops left", e.now, e.opsLeft)
+}
+
+// opDoneFlag reports whether op has completed. depsLeft is set to -1 on
+// completion so the deadlock report can identify stuck ops.
+func (e *Engine) opDoneFlag(id goal.OpID) bool { return e.depsLeft[id] == -1 }
+
+// activate runs when an op's dependencies are all satisfied.
+func (e *Engine) activate(id goal.OpID) {
+	op := e.prog.Op(id)
+	st := &e.ranks[op.Rank]
+	switch op.Kind {
+	case goal.KindCalc:
+		st.appQ.push(job{kind: jobCalc, cost: op.Work, op: id})
+		e.dispatch(int(op.Rank))
+	case goal.KindSend:
+		cost := e.net.SendCPU(op.Bytes)
+		if !e.net.Eager(op.Bytes) {
+			cost = e.net.Overhead // RTS preparation only
+		}
+		for _, h := range e.hooks {
+			cost += h.SendPenalty(int(op.Rank), int(op.Peer), op.Bytes)
+		}
+		kind := jobSendEager
+		if !e.net.Eager(op.Bytes) {
+			kind = jobSendRTS
+		}
+		st.appQ.push(job{kind: kind, cost: cost, op: id})
+		e.dispatch(int(op.Rank))
+	case goal.KindRecv:
+		e.postRecv(id)
+	}
+}
+
+// dispatch grants the CPU of rank to the next job if it is idle.
+func (e *Engine) dispatch(rank int) {
+	st := &e.ranks[rank]
+	if st.running {
+		return
+	}
+	var j job
+	switch {
+	case !st.seizeQ.empty():
+		j = st.seizeQ.pop()
+	case !st.ctlQ.empty():
+		j = st.ctlQ.pop()
+	case st.held == 0 && !st.appQ.empty():
+		j = st.appQ.pop()
+	default:
+		return
+	}
+	st.running = true
+	st.runningJob = j
+	st.jobStart = e.now
+	cost := j.cost
+	if j.kind != jobSeize && len(st.scales) > 0 {
+		f := 1.0
+		for _, sc := range st.scales {
+			f *= sc
+		}
+		if f != 1 {
+			scaled := j.cost.Scale(f)
+			st.scaledExtra += scaled - j.cost
+			cost = scaled
+		}
+	}
+	e.queue.Push(e.now.Add(cost), event{kind: evJobDone, rank: int32(rank)})
+}
+
+// jobDone handles the completion of rank's running CPU job.
+func (e *Engine) jobDone(rank int) {
+	st := &e.ranks[rank]
+	j := st.runningJob
+	st.running = false
+	dur := e.now.Sub(st.jobStart)
+	if e.cfg.Trace != nil {
+		kind, op := traceKind(&j)
+		e.cfg.Trace(TraceEvent{Rank: rank, Kind: kind, Start: st.jobStart,
+			End: e.now, Op: op})
+	}
+	switch j.kind {
+	case jobCalc:
+		st.busy += dur
+		e.opDone(j.op)
+	case jobSendEager:
+		st.busy += dur
+		op := e.prog.Op(j.op)
+		e.inject(rank, &message{kind: msgEager, src: op.Rank, dst: op.Peer,
+			tag: op.Tag, bytes: op.Bytes, op: j.op}, op.Bytes)
+		e.metrics.AppMessages++
+		e.metrics.AppBytes += op.Bytes
+		e.opDone(j.op)
+	case jobSendRTS:
+		st.busy += dur
+		op := e.prog.Op(j.op)
+		e.inject(rank, &message{kind: msgRTS, src: op.Rank, dst: op.Peer,
+			tag: op.Tag, bytes: op.Bytes, op: j.op}, 0)
+		e.metrics.Rendezvous++
+	case jobSendData:
+		st.busy += dur
+		m := j.msg
+		e.inject(rank, &message{kind: msgData, src: m.src, dst: m.dst,
+			tag: m.tag, bytes: m.bytes, op: m.op, recvOp: m.recvOp}, m.bytes)
+		e.metrics.AppMessages++
+		e.metrics.AppBytes += m.bytes
+		e.opDone(m.op) // rendezvous send completes when data is pushed
+	case jobRecvDone:
+		st.busy += dur
+		e.opDone(j.op)
+	case jobCtlSend:
+		st.ctlBusy += dur
+		e.inject(rank, j.msg, j.msg.wire)
+		e.metrics.CtlMessages++
+		e.metrics.CtlBytes += j.msg.wire
+	case jobCtlRecv:
+		st.ctlBusy += dur
+		if j.msg.deliver != nil {
+			j.msg.deliver(e.now)
+		}
+	case jobSeize:
+		st.seizedBusy += dur
+		e.seizeTime[j.reason] += dur
+		e.seizeCnt[j.reason]++
+		if j.fn != nil {
+			j.fn(e.now)
+		}
+	}
+	e.dispatch(rank)
+}
+
+// opDone marks an application operation complete and releases dependents.
+func (e *Engine) opDone(id goal.OpID) {
+	if e.depsLeft[id] == -1 {
+		panic("sim: op completed twice")
+	}
+	e.depsLeft[id] = -1
+	e.opsLeft--
+	op := e.prog.Op(id)
+	st := &e.ranks[op.Rank]
+	if e.now > st.finish {
+		st.finish = e.now
+	}
+	for _, out := range op.Outs {
+		e.depsLeft[out]--
+		if e.depsLeft[out] == 0 {
+			e.activate(out)
+		}
+	}
+}
+
+// inject places a message on rank's NIC and schedules its arrival. wireBytes
+// is the size used for wire and NIC occupancy (0 for bare envelopes).
+func (e *Engine) inject(rank int, m *message, wireBytes int64) {
+	st := &e.ranks[rank]
+	inj := simtime.Max(e.now, st.nicFreeAt)
+	st.nicFreeAt = inj.Add(e.net.NIC(wireBytes))
+	// Optional shared-fabric constraint: the message also serializes
+	// through the machine's bisection.
+	if occ := e.net.FabricOccupancy(wireBytes); occ > 0 {
+		start := simtime.Max(inj, e.fabricFree)
+		e.fabricFree = start.Add(occ)
+		e.metrics.FabricBusy += occ
+		inj = start
+	}
+	arr := inj.Add(e.net.Wire(wireBytes))
+	// Non-overtaking per (src, dst) channel.
+	if last, ok := st.lastArrival[m.dst]; ok && arr < last {
+		arr = last
+	}
+	st.lastArrival[m.dst] = arr
+	e.queue.Push(arr, event{kind: evArrive, msg: m})
+}
+
+// arrive handles a message reaching its destination rank.
+func (e *Engine) arrive(m *message) {
+	st := &e.ranks[m.dst]
+	switch m.kind {
+	case msgEager, msgRTS:
+		if idx := e.matchPosted(st, m); idx >= 0 {
+			recvOp := st.posted[idx].op
+			st.posted = append(st.posted[:idx], st.posted[idx+1:]...)
+			e.matched(m, recvOp)
+		} else {
+			st.unexpected = append(st.unexpected, m)
+			if len(st.unexpected) > e.metrics.UnexpectedMax {
+				e.metrics.UnexpectedMax = len(st.unexpected)
+			}
+		}
+	case msgCTS:
+		// Back at the sender: push the data.
+		e.ranks[m.dst].appQ.push(job{
+			kind: jobSendData,
+			cost: e.net.SendCPU(m.bytes), // o + (s-1)·O to push the payload
+			msg: &message{src: m.dst, dst: m.src, tag: m.tag, bytes: m.bytes,
+				op: m.op, recvOp: m.recvOp},
+		})
+		e.dispatch(int(m.dst))
+	case msgData:
+		st.appQ.push(job{kind: jobRecvDone, cost: e.net.RecvCPU(m.bytes), op: m.recvOp})
+		e.dispatch(int(m.dst))
+	case msgCtl:
+		st.ctlQ.push(job{kind: jobCtlRecv, cost: e.net.RecvCPU(m.bytes), msg: m})
+		e.dispatch(int(m.dst))
+	}
+}
+
+// matched joins an application message with a posted receive.
+func (e *Engine) matched(m *message, recvOp goal.OpID) {
+	e.metrics.Matches++
+	st := &e.ranks[m.dst]
+	switch m.kind {
+	case msgEager:
+		st.appQ.push(job{kind: jobRecvDone, cost: e.net.RecvCPU(m.bytes), op: recvOp})
+		e.dispatch(int(m.dst))
+	case msgRTS:
+		// Send CTS back to the data source; costs o on the receiver.
+		cts := &message{kind: msgCTS, src: m.dst, dst: m.src, tag: m.tag,
+			bytes: m.bytes, wire: 0, op: m.op, recvOp: recvOp}
+		st.ctlQ.push(job{kind: jobCtlSend, cost: e.net.Overhead, msg: cts})
+		e.dispatch(int(m.dst))
+	default:
+		panic("sim: matched non-matchable message")
+	}
+}
+
+// postRecv posts a receive and tries to match it against the unexpected
+// queue in arrival order.
+func (e *Engine) postRecv(id goal.OpID) {
+	op := e.prog.Op(id)
+	st := &e.ranks[op.Rank]
+	for i, m := range st.unexpected {
+		if recvMatches(op, m) {
+			st.unexpected = append(st.unexpected[:i], st.unexpected[i+1:]...)
+			e.matched(m, id)
+			return
+		}
+	}
+	st.posted = append(st.posted, postedRecv{op: id})
+	if len(st.posted) > e.metrics.PostedMax {
+		e.metrics.PostedMax = len(st.posted)
+	}
+}
+
+// matchPosted finds the first posted receive matching m, in post order.
+func (e *Engine) matchPosted(st *rankState, m *message) int {
+	for i := range st.posted {
+		if recvMatches(e.prog.Op(st.posted[i].op), m) {
+			return i
+		}
+	}
+	return -1
+}
+
+// recvMatches applies MPI matching rules.
+func recvMatches(recv *goal.Op, m *message) bool {
+	if recv.Peer != goal.AnySource && recv.Peer != m.src {
+		return false
+	}
+	if recv.Tag != goal.AnyTag && recv.Tag != m.tag {
+		return false
+	}
+	return true
+}

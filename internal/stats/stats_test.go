@@ -1,0 +1,313 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"checkpointsim/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); !approx(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := StdDev(xs); !approx(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) ||
+		!math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) ||
+		!math.IsNaN(Percentile(nil, 50)) || !math.IsNaN(Median(nil)) {
+		t.Error("empty inputs should give NaN")
+	}
+	if Sum(nil) != 0 {
+		t.Error("Sum(nil) != 0")
+	}
+	if CI95(nil) != 0 || CI95([]float64{1}) != 0 {
+		t.Error("CI95 of tiny input should be 0")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 || Sum(xs) != 12 {
+		t.Errorf("min/max/sum wrong: %v %v %v", Min(xs), Max(xs), Sum(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); !approx(got, 5.5, 1e-12) {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 25); !approx(got, 3.25, 1e-12) {
+		t.Errorf("p25 = %v", got)
+	}
+	// single element
+	if got := Percentile([]float64{42}, 73); got != 42 {
+		t.Errorf("single elem percentile = %v", got)
+	}
+}
+
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7, 2, 8}
+	got := Percentiles(xs, 10, 50, 90)
+	for i, p := range []float64{10, 50, 90} {
+		if want := Percentile(xs, p); !approx(got[i], want, 1e-12) {
+			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 0, 101)
+	for i := 0; i <= 100; i++ {
+		xs = append(xs, float64(i))
+	}
+	s := Summarize(xs)
+	if s.N != 101 || s.Mean != 50 || s.Min != 0 || s.Max != 100 || s.P50 != 50 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+	es := Summarize(nil)
+	if es.N != 0 || !math.IsNaN(es.Mean) {
+		t.Errorf("empty Summarize = %+v", es)
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 1000)
+	var a Accumulator
+	for i := range xs {
+		xs[i] = r.Normal(10, 3)
+		a.Add(xs[i])
+	}
+	if !approx(a.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("acc mean %v vs %v", a.Mean(), Mean(xs))
+	}
+	if !approx(a.Variance(), Variance(xs), 1e-6) {
+		t.Errorf("acc var %v vs %v", a.Variance(), Variance(xs))
+	}
+	if a.Min() != Min(xs) || a.Max() != Max(xs) {
+		t.Error("acc min/max mismatch")
+	}
+	if a.N() != 1000 {
+		t.Errorf("acc n = %d", a.N())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if !math.IsNaN(a.Mean()) || !math.IsNaN(a.Variance()) ||
+		!math.IsNaN(a.Min()) || !math.IsNaN(a.Max()) {
+		t.Error("empty accumulator should give NaN")
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	r := rng.New(2)
+	xs := make([]float64, 500)
+	var a, b, whole Accumulator
+	for i := range xs {
+		xs[i] = r.Exp(2)
+		whole.Add(xs[i])
+		if i < 200 {
+			a.Add(xs[i])
+		} else {
+			b.Add(xs[i])
+		}
+	}
+	a.Merge(&b)
+	if !approx(a.Mean(), whole.Mean(), 1e-9) {
+		t.Errorf("merged mean %v vs %v", a.Mean(), whole.Mean())
+	}
+	if !approx(a.Variance(), whole.Variance(), 1e-6) {
+		t.Errorf("merged var %v vs %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Error("merged min/max mismatch")
+	}
+	// Merging into empty copies.
+	var e Accumulator
+	e.Merge(&whole)
+	if e.N() != whole.N() || e.Mean() != whole.Mean() {
+		t.Error("merge into empty wrong")
+	}
+	// Merging empty is a no-op.
+	n := whole.N()
+	var e2 Accumulator
+	whole.Merge(&e2)
+	if whole.N() != n {
+		t.Error("merge of empty changed state")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 2x + 1
+	slope, intercept, r2 := LinearFit(x, y)
+	if !approx(slope, 2, 1e-12) || !approx(intercept, 1, 1e-12) || !approx(r2, 1, 1e-12) {
+		t.Errorf("fit = %v %v %v", slope, intercept, r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	s, _, _ := LinearFit([]float64{1}, []float64{2})
+	if !math.IsNaN(s) {
+		t.Error("fit of one point should be NaN")
+	}
+	s, _, _ = LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if !math.IsNaN(s) {
+		t.Error("fit of constant x should be NaN")
+	}
+	// constant y has slope 0 and r2 1 (perfect fit)
+	s2, i2, r2 := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if !approx(s2, 0, 1e-12) || !approx(i2, 5, 1e-12) || !approx(r2, 1, 1e-12) {
+		t.Errorf("constant-y fit = %v %v %v", s2, i2, r2)
+	}
+}
+
+func TestLinearFitPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{1, 2})
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)   // under
+	h.Add(10)   // over (hi is exclusive)
+	h.Add(12.5) // over
+	for i, c := range h.Bins {
+		if c != 1 {
+			t.Errorf("bin %d = %d", i, c)
+		}
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.N() != 13 {
+		t.Errorf("N = %d", h.N())
+	}
+	if got := h.BinCenter(0); !approx(got, 0.5, 1e-12) {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+	q := h.Quantile(0.5)
+	if q < 3 || q > 7 {
+		t.Errorf("median quantile = %v", q)
+	}
+}
+
+func TestHistogramEdgeRounding(t *testing.T) {
+	h := NewHistogram(0, 0.3, 3)
+	// 0.3 - tiny epsilon lands in last bin without indexing out of range.
+	h.Add(math.Nextafter(0.3, 0))
+	if h.Bins[2] != 1 {
+		t.Errorf("edge sample not in last bin: %v", h.Bins)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on bad bounds")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("quantile of empty histogram should be NaN")
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestQuickMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	r := rng.New(5)
+	f := func(n uint8) bool {
+		m := int(n)%50 + 1
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.Normal(0, 10)
+		}
+		ps := Percentiles(xs, 1, 25, 50, 75, 99)
+		for i := 1; i < len(ps); i++ {
+			if ps[i] < ps[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Welford accumulator variance is never negative.
+func TestQuickAccumulatorNonNegativeVariance(t *testing.T) {
+	r := rng.New(6)
+	f := func(n uint8) bool {
+		var a Accumulator
+		for i := 0; i < int(n)+2; i++ {
+			a.Add(r.Uniform(-1000, 1000))
+		}
+		return a.Variance() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

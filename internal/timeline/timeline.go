@@ -1,0 +1,201 @@
+// Package timeline collects the simulator's per-job trace events and turns
+// them into utilization breakdowns and ASCII Gantt charts — the per-rank
+// view of where time went: application work, protocol control traffic,
+// checkpoint/recovery seizures, and idling.
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+// Collector accumulates trace events; pass Add as sim.Config.Trace.
+type Collector struct {
+	events []sim.TraceEvent
+	ranks  int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add records one event (the sim.Config.Trace callback).
+func (c *Collector) Add(ev sim.TraceEvent) {
+	c.events = append(c.events, ev)
+	if ev.Rank+1 > c.ranks {
+		c.ranks = ev.Rank + 1
+	}
+}
+
+// Events returns the recorded events in completion order.
+func (c *Collector) Events() []sim.TraceEvent { return c.events }
+
+// Ranks returns the number of ranks observed.
+func (c *Collector) Ranks() int { return c.ranks }
+
+// class buckets an event kind for reporting.
+func class(kind string) string {
+	switch {
+	case kind == "calc" || kind == "send" || kind == "recv":
+		return "app"
+	case kind == "ctl":
+		return "ctl"
+	case strings.HasPrefix(kind, "seize:"):
+		return "seized"
+	}
+	return "other"
+}
+
+// Utilization is one rank's time breakdown over [0, makespan].
+type Utilization struct {
+	Rank   int
+	App    simtime.Duration
+	Ctl    simtime.Duration
+	Seized simtime.Duration
+	Idle   simtime.Duration
+}
+
+// AppFraction returns the useful-work fraction of the rank's time.
+func (u Utilization) AppFraction(makespan simtime.Time) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return float64(u.App) / float64(makespan)
+}
+
+// Utilization computes per-rank breakdowns against the given makespan.
+func (c *Collector) Utilization(makespan simtime.Time) []Utilization {
+	out := make([]Utilization, c.ranks)
+	for i := range out {
+		out[i].Rank = i
+	}
+	for _, ev := range c.events {
+		d := ev.End.Sub(ev.Start)
+		u := &out[ev.Rank]
+		switch class(ev.Kind) {
+		case "app":
+			u.App += d
+		case "ctl":
+			u.Ctl += d
+		case "seized":
+			u.Seized += d
+		}
+	}
+	for i := range out {
+		occupied := out[i].App + out[i].Ctl + out[i].Seized
+		idle := simtime.Duration(makespan) - occupied
+		if idle < 0 {
+			idle = 0
+		}
+		out[i].Idle = idle
+	}
+	return out
+}
+
+// SeizedByReason aggregates seized time per reason across all ranks.
+func (c *Collector) SeizedByReason() map[string]simtime.Duration {
+	out := make(map[string]simtime.Duration)
+	for _, ev := range c.events {
+		if strings.HasPrefix(ev.Kind, "seize:") {
+			out[strings.TrimPrefix(ev.Kind, "seize:")] += ev.End.Sub(ev.Start)
+		}
+	}
+	return out
+}
+
+// PrintSummary writes the machine-level utilization table.
+func (c *Collector) PrintSummary(w io.Writer, makespan simtime.Time) {
+	us := c.Utilization(makespan)
+	var app, ctl, seized, idle simtime.Duration
+	worst, best := 1.0, 0.0
+	for _, u := range us {
+		app += u.App
+		ctl += u.Ctl
+		seized += u.Seized
+		idle += u.Idle
+		f := u.AppFraction(makespan)
+		if f < worst {
+			worst = f
+		}
+		if f > best {
+			best = f
+		}
+	}
+	total := float64(app + ctl + seized + idle)
+	if total == 0 {
+		fmt.Fprintln(w, "timeline: no events")
+		return
+	}
+	pct := func(d simtime.Duration) float64 { return 100 * float64(d) / total }
+	fmt.Fprintf(w, "utilization: app %.1f%%, control %.1f%%, seized %.1f%%, idle %.1f%%\n",
+		pct(app), pct(ctl), pct(seized), pct(idle))
+	if len(us) > 1 {
+		fmt.Fprintf(w, "per-rank app fraction: min %.1f%%, max %.1f%%\n", worst*100, best*100)
+	}
+	reasons := c.SeizedByReason()
+	keys := make([]string, 0, len(reasons))
+	for k := range reasons {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "seized[%s]: %v total\n", k, reasons[k])
+	}
+}
+
+// Gantt renders an ASCII chart: one row per rank, time left to right.
+// Symbols: '#' application, 'c' control, 'X' seized, '.' idle. Events are
+// painted in completion order; within one rank they never overlap. Rows are
+// capped at maxRanks (0 = all).
+func (c *Collector) Gantt(w io.Writer, width int, makespan simtime.Time, maxRanks int) {
+	if width < 10 {
+		width = 10
+	}
+	rows := c.ranks
+	if maxRanks > 0 && rows > maxRanks {
+		rows = maxRanks
+	}
+	if rows == 0 || makespan <= 0 {
+		fmt.Fprintln(w, "gantt: no events")
+		return
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, ev := range c.events {
+		if ev.Rank >= rows {
+			continue
+		}
+		var sym byte
+		switch class(ev.Kind) {
+		case "app":
+			sym = '#'
+		case "ctl":
+			sym = 'c'
+		case "seized":
+			sym = 'X'
+		default:
+			sym = '?'
+		}
+		lo := int(int64(ev.Start) * int64(width) / int64(makespan))
+		hi := int(int64(ev.End) * int64(width) / int64(makespan))
+		if hi >= width {
+			hi = width - 1
+		}
+		for x := lo; x <= hi; x++ {
+			grid[ev.Rank][x] = sym
+		}
+	}
+	fmt.Fprintf(w, "gantt: 0 .. %v  (#=app c=ctl X=seized .=idle)\n", simtime.Duration(makespan))
+	for i, row := range grid {
+		fmt.Fprintf(w, "r%-3d |%s|\n", i, row)
+	}
+	if rows < c.ranks {
+		fmt.Fprintf(w, "(%d more ranks not shown)\n", c.ranks-rows)
+	}
+}

@@ -1,0 +1,185 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+
+	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/goal"
+	"checkpointsim/internal/network"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/workload"
+)
+
+// traceRun simulates a small checkpointed stencil through a collector.
+func traceRun(t *testing.T) (*Collector, *sim.Result) {
+	t.Helper()
+	prog, err := workload.Stencil2D(workload.Stencil2DConfig{
+		Base:      workload.Base{Ranks: 4, Iterations: 10, Compute: simtime.Millisecond, Seed: 1},
+		HaloBytes: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := checkpoint.NewCoordinated(checkpoint.Params{
+		Interval: 3 * simtime.Millisecond, Write: 500 * simtime.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	e, err := sim.New(sim.Config{
+		Net: network.DefaultParams(), Program: prog,
+		Agents: []sim.Agent{cp}, Seed: 1, Trace: col.Add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, r
+}
+
+func TestCollectorGathersEverything(t *testing.T) {
+	col, r := traceRun(t)
+	if col.Ranks() != 4 {
+		t.Errorf("ranks = %d", col.Ranks())
+	}
+	if len(col.Events()) == 0 {
+		t.Fatal("no events")
+	}
+	// Aggregate app time must match the engine's own accounting.
+	us := col.Utilization(r.Makespan)
+	var app, seized simtime.Duration
+	for _, u := range us {
+		app += u.App
+		seized += u.Seized
+	}
+	var engineApp simtime.Duration
+	for _, b := range r.RankBusy {
+		engineApp += b
+	}
+	if app != engineApp {
+		t.Errorf("timeline app %v != engine busy %v", app, engineApp)
+	}
+	if seized != r.TotalSeized() {
+		t.Errorf("timeline seized %v != engine %v", seized, r.TotalSeized())
+	}
+	for _, u := range us {
+		total := u.App + u.Ctl + u.Seized + u.Idle
+		if total > simtime.Duration(r.Makespan) {
+			t.Errorf("rank %d accounted %v > makespan %v", u.Rank, total, r.Makespan)
+		}
+		if f := u.AppFraction(r.Makespan); f <= 0 || f > 1 {
+			t.Errorf("rank %d app fraction %v", u.Rank, f)
+		}
+	}
+}
+
+func TestSeizedByReason(t *testing.T) {
+	col, r := traceRun(t)
+	by := col.SeizedByReason()
+	if by[checkpoint.ReasonWrite] != r.SeizedTime[checkpoint.ReasonWrite] {
+		t.Errorf("seized-by-reason %v != engine %v",
+			by[checkpoint.ReasonWrite], r.SeizedTime[checkpoint.ReasonWrite])
+	}
+}
+
+func TestPrintSummary(t *testing.T) {
+	col, r := traceRun(t)
+	var sb strings.Builder
+	col.PrintSummary(&sb, r.Makespan)
+	out := sb.String()
+	for _, want := range []string{"utilization:", "app", "seized[checkpoint]", "per-rank app fraction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintSummaryEmpty(t *testing.T) {
+	var sb strings.Builder
+	NewCollector().PrintSummary(&sb, 0)
+	if !strings.Contains(sb.String(), "no events") {
+		t.Error("empty summary wrong")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	col, r := traceRun(t)
+	var sb strings.Builder
+	col.Gantt(&sb, 60, r.Makespan, 0)
+	out := sb.String()
+	if !strings.Contains(out, "r0 ") && !strings.Contains(out, "r0  ") {
+		t.Errorf("gantt missing rank rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("gantt has no app time")
+	}
+	if !strings.Contains(out, "X") {
+		t.Error("gantt has no seized time despite checkpointing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 4 ranks
+		t.Errorf("gantt has %d lines", len(lines))
+	}
+}
+
+func TestGanttRankCap(t *testing.T) {
+	col, r := traceRun(t)
+	var sb strings.Builder
+	col.Gantt(&sb, 40, r.Makespan, 2)
+	out := sb.String()
+	if !strings.Contains(out, "2 more ranks not shown") {
+		t.Errorf("cap note missing:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var sb strings.Builder
+	NewCollector().Gantt(&sb, 40, 0, 0)
+	if !strings.Contains(sb.String(), "no events") {
+		t.Error("empty gantt wrong")
+	}
+}
+
+func TestClassBuckets(t *testing.T) {
+	cases := map[string]string{
+		"calc": "app", "send": "app", "recv": "app",
+		"ctl": "ctl", "seize:checkpoint": "seized", "seize:noise": "seized",
+		"weird": "other",
+	}
+	for kind, want := range cases {
+		if got := class(kind); got != want {
+			t.Errorf("class(%q) = %q, want %q", kind, got, want)
+		}
+	}
+}
+
+func TestSmallGoalProgramTimeline(t *testing.T) {
+	b := goal.NewBuilder(2)
+	s0 := b.Seq(0)
+	s0.Calc(simtime.Millisecond)
+	s0.Send(1, 0, 64)
+	b.Seq(1).Recv(0, 0, 64)
+	prog := b.MustBuild()
+	col := NewCollector()
+	e, err := sim.New(sim.Config{Net: network.DefaultParams(), Program: prog,
+		Trace: col.Add})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Events()) != 3 { // calc, send, recv
+		t.Errorf("events = %d", len(col.Events()))
+	}
+	us := col.Utilization(r.Makespan)
+	if us[0].App <= us[1].App {
+		t.Error("rank 0 should have more app time (it computes)")
+	}
+}

@@ -1,0 +1,408 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"checkpointsim/internal/goal"
+	"checkpointsim/internal/network"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+func base(ranks, iters int) Base {
+	return Base{Ranks: ranks, Iterations: iters, Compute: 50 * simtime.Microsecond, Seed: 1}
+}
+
+func mustRun(t *testing.T, p *goal.Program, err error) *sim.Result {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(sim.Config{Net: network.DefaultParams(), Program: p, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDims2(t *testing.T) {
+	cases := map[int][2]int{
+		1: {1, 1}, 2: {2, 1}, 4: {2, 2}, 6: {3, 2}, 12: {4, 3},
+		16: {4, 4}, 36: {6, 6}, 7: {7, 1}, 64: {8, 8},
+	}
+	for p, want := range cases {
+		px, py := Dims2(p)
+		if px*py != p || px < py {
+			t.Errorf("Dims2(%d) = %d,%d invalid", p, px, py)
+		}
+		if px != want[0] || py != want[1] {
+			t.Errorf("Dims2(%d) = %d,%d, want %v", p, px, py, want)
+		}
+	}
+}
+
+func TestDims3(t *testing.T) {
+	for _, p := range []int{1, 2, 8, 12, 27, 64, 100, 7} {
+		px, py, pz := Dims3(p)
+		if px*py*pz != p {
+			t.Errorf("Dims3(%d) = %d,%d,%d does not multiply out", p, px, py, pz)
+		}
+		if px < py || py < pz {
+			t.Errorf("Dims3(%d) = %d,%d,%d not ordered", p, px, py, pz)
+		}
+	}
+	if px, py, pz := Dims3(27); px != 3 || py != 3 || pz != 3 {
+		t.Errorf("Dims3(27) = %d,%d,%d", px, py, pz)
+	}
+}
+
+func TestStencil2DShape(t *testing.T) {
+	p, err := Stencil2D(Stencil2DConfig{Base: base(16, 3), HaloBytes: 1024})
+	r := mustRun(t, p, err)
+	// 4x4 grid, non-periodic: interior halo links = px(py-1)+py(px-1) = 24
+	// edges, 2 messages each per iteration.
+	want := int64(3 * 2 * 24)
+	if r.Metrics.AppMessages != want {
+		t.Errorf("messages = %d, want %d", r.Metrics.AppMessages, want)
+	}
+}
+
+func TestStencil2DPeriodic(t *testing.T) {
+	p, err := Stencil2D(Stencil2DConfig{Base: base(16, 2), HaloBytes: 64, Periodic: true})
+	r := mustRun(t, p, err)
+	// Torus: every rank has exactly 4 neighbors: 16*4 messages per iter.
+	want := int64(2 * 16 * 4)
+	if r.Metrics.AppMessages != want {
+		t.Errorf("messages = %d, want %d", r.Metrics.AppMessages, want)
+	}
+}
+
+func TestStencil2DReduceEvery(t *testing.T) {
+	pNo, err := Stencil2D(Stencil2DConfig{Base: base(8, 4), HaloBytes: 64})
+	rNo := mustRun(t, pNo, err)
+	pRed, err := Stencil2D(Stencil2DConfig{Base: base(8, 4), HaloBytes: 64, ReduceEvery: 2})
+	rRed := mustRun(t, pRed, err)
+	if rRed.Metrics.AppMessages <= rNo.Metrics.AppMessages {
+		t.Error("ReduceEvery added no messages")
+	}
+}
+
+func TestStencil2DMinimumWork(t *testing.T) {
+	// Makespan is at least iterations * compute.
+	cfg := Stencil2DConfig{Base: base(9, 5), HaloBytes: 512}
+	p, err := Stencil2D(cfg)
+	r := mustRun(t, p, err)
+	min := simtime.Time(int64(cfg.Iterations) * int64(cfg.Compute))
+	if r.Makespan < min {
+		t.Errorf("makespan %v < serial compute %v", r.Makespan, min)
+	}
+}
+
+func TestStencil3DShape(t *testing.T) {
+	p, err := Stencil3D(Stencil3DConfig{Base: base(27, 2), HaloBytes: 256, Periodic: true})
+	r := mustRun(t, p, err)
+	// 3x3x3 torus: 6 neighbors each.
+	want := int64(2 * 27 * 6)
+	if r.Metrics.AppMessages != want {
+		t.Errorf("messages = %d, want %d", r.Metrics.AppMessages, want)
+	}
+}
+
+func TestStencil3DNonPeriodic(t *testing.T) {
+	p, err := Stencil3D(Stencil3DConfig{Base: base(8, 2), HaloBytes: 256})
+	r := mustRun(t, p, err)
+	// 2x2x2: each rank has 3 neighbors: 8*3 = 24 msgs/iter.
+	if want := int64(2 * 24); r.Metrics.AppMessages != want {
+		t.Errorf("messages = %d, want %d", r.Metrics.AppMessages, want)
+	}
+}
+
+func TestSweepWavefrontOrdering(t *testing.T) {
+	// In a forward sweep, the far corner cannot finish before the serial
+	// chain of upwind computations.
+	cfg := SweepConfig{Base: base(16, 1), EdgeBytes: 128}
+	p, err := Sweep(cfg)
+	r := mustRun(t, p, err)
+	// 4x4 grid: the last corner is 7 hops of compute deep (diagonal).
+	minDepth := simtime.Time(7 * int64(cfg.Compute))
+	if r.RankFinish[15] < minDepth {
+		t.Errorf("far corner finished at %v, before wavefront depth %v",
+			r.RankFinish[15], minDepth)
+	}
+	// Messages: 2 per interior edge per sweep: px(py-1)+py(px-1) = 24.
+	if want := int64(24); r.Metrics.AppMessages != want {
+		t.Errorf("messages = %d, want %d", r.Metrics.AppMessages, want)
+	}
+}
+
+func TestSweepAlternatesDirection(t *testing.T) {
+	p, err := Sweep(SweepConfig{Base: base(4, 2), EdgeBytes: 64})
+	r := mustRun(t, p, err)
+	// Both sweeps complete; 2x2 grid has 4 edges * 2 sweeps.
+	if want := int64(8); r.Metrics.AppMessages != want {
+		t.Errorf("messages = %d, want %d", r.Metrics.AppMessages, want)
+	}
+}
+
+func TestCGShape(t *testing.T) {
+	p, err := CG(CGConfig{Base: base(8, 3), HaloBytes: 2048, DotsPerIter: 2})
+	r := mustRun(t, p, err)
+	// Per iteration: 8 ranks * 2 ring sends + 2 allreduces (24 msgs each
+	// for P=8 power of two).
+	want := int64(3 * (8*2 + 2*24))
+	if r.Metrics.AppMessages != want {
+		t.Errorf("messages = %d, want %d", r.Metrics.AppMessages, want)
+	}
+}
+
+func TestCGDefaults(t *testing.T) {
+	p, err := CG(CGConfig{Base: base(4, 2)}) // zero dot bytes/dots default
+	mustRun(t, p, err)
+}
+
+func TestCGTwoRanks(t *testing.T) {
+	p, err := CG(CGConfig{Base: base(2, 2), HaloBytes: 64})
+	r := mustRun(t, p, err)
+	if r.Metrics.AppMessages == 0 {
+		t.Error("no messages in 2-rank CG")
+	}
+}
+
+func TestTransposeShape(t *testing.T) {
+	p, err := Transpose(TransposeConfig{Base: base(6, 2), BlockBytes: 512})
+	r := mustRun(t, p, err)
+	if want := int64(2 * 6 * 5); r.Metrics.AppMessages != want {
+		t.Errorf("messages = %d, want %d", r.Metrics.AppMessages, want)
+	}
+}
+
+func TestFarmShape(t *testing.T) {
+	p, err := Farm(FarmConfig{Base: base(5, 3), TaskBytes: 256, ResultBytes: 1024})
+	r := mustRun(t, p, err)
+	// Per round: 4 tasks + 4 results.
+	if want := int64(3 * 8); r.Metrics.AppMessages != want {
+		t.Errorf("messages = %d, want %d", r.Metrics.AppMessages, want)
+	}
+}
+
+func TestFarmNeedsTwoRanks(t *testing.T) {
+	if _, err := Farm(FarmConfig{Base: base(1, 1)}); err == nil {
+		t.Error("1-rank farm accepted")
+	}
+}
+
+func TestEPHasNoCouplingUntilEnd(t *testing.T) {
+	p, err := EP(EPConfig{Base: base(8, 4)})
+	r := mustRun(t, p, err)
+	if want := int64(7); r.Metrics.AppMessages != want {
+		t.Errorf("messages = %d, want %d (final reduce only)", r.Metrics.AppMessages, want)
+	}
+}
+
+func TestEPSingleRank(t *testing.T) {
+	p, err := EP(EPConfig{Base: base(1, 3)})
+	r := mustRun(t, p, err)
+	if r.Metrics.AppMessages != 0 {
+		t.Error("single-rank EP sent messages")
+	}
+	if r.Makespan != simtime.Time(3*int64(50*simtime.Microsecond)) {
+		t.Errorf("makespan = %v", r.Makespan)
+	}
+}
+
+func TestRandomNeighborDeterministicBySeed(t *testing.T) {
+	cfg := RandomNeighborConfig{Base: base(9, 3), Pairings: 2, Bytes: 256}
+	p1, err1 := RandomNeighbor(cfg)
+	p2, err2 := RandomNeighbor(cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if goal.WriteString(p1) != goal.WriteString(p2) {
+		t.Error("same seed produced different programs")
+	}
+	cfg.Seed = 2
+	p3, _ := RandomNeighbor(cfg)
+	if goal.WriteString(p1) == goal.WriteString(p3) {
+		t.Error("different seeds produced identical programs")
+	}
+	mustRun(t, p1, nil)
+}
+
+func TestRandomNeighborOddRanks(t *testing.T) {
+	p, err := RandomNeighbor(RandomNeighborConfig{Base: base(7, 2), Pairings: 1, Bytes: 64})
+	r := mustRun(t, p, err)
+	// 3 pairs per pairing, 2 msgs per pair, 2 iterations.
+	if want := int64(2 * 3 * 2); r.Metrics.AppMessages != want {
+		t.Errorf("messages = %d, want %d", r.Metrics.AppMessages, want)
+	}
+}
+
+func TestJitterChangesProgramNotStructure(t *testing.T) {
+	flat, _ := Stencil2D(Stencil2DConfig{Base: base(4, 2), HaloBytes: 64})
+	jit, err := Stencil2D(Stencil2DConfig{
+		Base:      Base{Ranks: 4, Iterations: 2, Compute: 50 * simtime.Microsecond, Jitter: 0.2, Seed: 3},
+		HaloBytes: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, sj := flat.Stats(), jit.Stats()
+	if sf.NumOps != sj.NumOps || sf.NumSend != sj.NumSend {
+		t.Error("jitter changed program structure")
+	}
+	if sf.TotalWork == sj.TotalWork {
+		t.Error("jitter did not perturb compute durations")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	bad := []Base{
+		{Ranks: 0, Iterations: 1, Compute: 1},
+		{Ranks: 1, Iterations: 0, Compute: 1},
+		{Ranks: 1, Iterations: 1, Compute: -1},
+		{Ranks: 1, Iterations: 1, Compute: 1, Jitter: -0.5},
+	}
+	for i, b := range bad {
+		if _, err := Stencil2D(Stencil2DConfig{Base: b}); err == nil {
+			t.Errorf("bad base %d accepted", i)
+		}
+	}
+	if _, err := Stencil2D(Stencil2DConfig{Base: base(4, 1), HaloBytes: -1}); err == nil {
+		t.Error("negative halo accepted")
+	}
+	if _, err := Sweep(SweepConfig{Base: base(4, 1), EdgeBytes: -1}); err == nil {
+		t.Error("negative edge accepted")
+	}
+	if _, err := Transpose(TransposeConfig{Base: base(4, 1), BlockBytes: -1}); err == nil {
+		t.Error("negative block accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for _, n := range names {
+		if Describe(n) == "" {
+			t.Errorf("%s has no description", n)
+		}
+		p, err := FromName(n, CommonConfig{Base: base(8, 2), Bytes: 512})
+		if err != nil {
+			t.Errorf("%s: %v", n, err)
+			continue
+		}
+		mustRun(t, p, nil)
+	}
+	if _, err := FromName("bogus", CommonConfig{Base: base(4, 1)}); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+// Property: every registered workload builds a balanced, deadlock-free
+// program at arbitrary small scales and completes in the simulator.
+func TestQuickAllWorkloadsRun(t *testing.T) {
+	names := Names()
+	f := func(seed uint8) bool {
+		ranks := int(seed)%7 + 2
+		name := names[int(seed)%len(names)]
+		cfg := CommonConfig{
+			Base:  Base{Ranks: ranks, Iterations: 2, Compute: 10 * simtime.Microsecond, Jitter: 0.1, Seed: uint64(seed)},
+			Bytes: 128,
+		}
+		p, err := FromName(name, cfg)
+		if err != nil {
+			return false
+		}
+		if err := p.CheckBalanced(); err != nil {
+			return false
+		}
+		e, err := sim.New(sim.Config{Net: network.DefaultParams(), Program: p, Seed: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		_, err = e.Run()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStragglerSlowsMachine(t *testing.T) {
+	balanced, err := Straggler(StragglerConfig{Base: base(16, 10), HaloBytes: 1024, Factor: 1})
+	rBal := mustRun(t, balanced, err)
+	slowed, err := Straggler(StragglerConfig{Base: base(16, 10), HaloBytes: 1024, Factor: 3, SlowRank: 5})
+	rSlow := mustRun(t, slowed, err)
+	// With a coupled stencil, the whole machine runs at the straggler's
+	// pace: makespan ≈ factor × balanced.
+	ratio := float64(rSlow.Makespan) / float64(rBal.Makespan)
+	if ratio < 2.0 {
+		t.Errorf("straggler ratio %v, want ≈3 (propagated)", ratio)
+	}
+}
+
+func TestStragglerValidation(t *testing.T) {
+	if _, err := Straggler(StragglerConfig{Base: base(4, 2), Factor: 0.5}); err == nil {
+		t.Error("factor < 1 accepted")
+	}
+	// Out-of-range slow ranks clamp rather than fail.
+	p, err := Straggler(StragglerConfig{Base: base(4, 2), HaloBytes: 64, Factor: 2, SlowRank: 99})
+	mustRun(t, p, err)
+	p, err = Straggler(StragglerConfig{Base: base(4, 2), HaloBytes: 64, Factor: 2, SlowRank: -1})
+	mustRun(t, p, err)
+}
+
+func TestComputeScaleValidation(t *testing.T) {
+	if _, err := Stencil2D(Stencil2DConfig{Base: base(4, 2), ComputeScale: []float64{1, 2}}); err == nil {
+		t.Error("wrong-length scale accepted")
+	}
+	if _, err := Stencil2D(Stencil2DConfig{Base: base(2, 2), ComputeScale: []float64{1, -1}}); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+// Cross-check: for every registered workload, the contention-free critical
+// path lower-bounds the simulated makespan, and the gap stays plausible
+// (the simulator only adds endpoint contention, not orders of magnitude).
+func TestCriticalPathBoundsAllWorkloads(t *testing.T) {
+	net := network.DefaultParams()
+	for _, name := range Names() {
+		p, err := FromName(name, CommonConfig{
+			Base:  Base{Ranks: 9, Iterations: 3, Compute: simtime.Millisecond, Seed: 2},
+			Bytes: 2048,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cp, path := goal.CriticalPath(p, net)
+		e, err := sim.New(sim.Config{Net: net, Program: p, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if simtime.Duration(r.Makespan) < cp {
+			t.Errorf("%s: makespan %v below critical path %v", name, r.Makespan, cp)
+		}
+		if len(path) == 0 {
+			t.Errorf("%s: empty critical path", name)
+		}
+		if float64(r.Makespan) > 20*float64(cp) {
+			t.Errorf("%s: makespan %v implausibly far above bound %v", name, r.Makespan, cp)
+		}
+	}
+}
