@@ -12,12 +12,20 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	// Jobs 0 = all cores: benches exercise the same parallel sweep path
+	// cmd/sweep uses (results are identical at any worker count).
+	benchExperimentJobs(b, id, 0)
+}
+
+func benchExperimentJobs(b *testing.B, id string, jobs int) {
+	b.Helper()
 	e, ok := exp.ByID(id)
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
 	o := exp.DefaultOptions()
 	o.Quick = true
+	o.Jobs = jobs
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tables, err := e.Run(o)
@@ -46,6 +54,12 @@ func BenchmarkE13Straggler(b *testing.B)    { benchExperiment(b, "E13") }
 func BenchmarkE14Fabric(b *testing.B)       { benchExperiment(b, "E14") }
 func BenchmarkE15Resonance(b *testing.B)    { benchExperiment(b, "E15") }
 func BenchmarkE16TwoLevel(b *testing.B)     { benchExperiment(b, "E16") }
+
+// Serial counterparts for the heaviest sweeps: benchstat these against the
+// parallel versions above to measure the worker-pool speedup on your box
+// (identical tables either way — only wall-clock differs).
+func BenchmarkE4WeakScalingSerial(b *testing.B) { benchExperimentJobs(b, "E4", 1) }
+func BenchmarkE8CrossoverSerial(b *testing.B)   { benchExperimentJobs(b, "E8", 1) }
 
 // BenchmarkEngineThroughput measures raw simulator speed: events per second
 // on a communication-heavy workload, reported as time per full run.

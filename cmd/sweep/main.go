@@ -1,4 +1,4 @@
-// Command sweep regenerates the reproduction experiments (E1–E10, see
+// Command sweep regenerates the reproduction experiments (E1–E16, see
 // DESIGN.md §4) and prints their tables.
 //
 // Usage:
@@ -6,6 +6,13 @@
 //	sweep -exp all            # every experiment, full scale
 //	sweep -exp E4 -quick      # one experiment, reduced sweep
 //	sweep -exp E2,E9 -csv dir # also write CSV files into dir
+//	sweep -exp all -j 4       # cap the worker pool at 4 cores
+//
+// Each experiment fans its sweep points across -j workers (default: all
+// cores). Tables are bit-for-bit identical for every -j value, -j 1
+// included: every point derives its RNG stream from the sweep seed and its
+// own index, never from scheduling. Pass -timings=false to suppress the
+// wall-clock lines when diffing runs.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,12 +39,14 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		which  = fs.String("exp", "all", `experiment ids, comma separated, or "all"`)
-		quick  = fs.Bool("quick", false, "reduced sweeps (bench/CI scale)")
-		seed   = fs.Uint64("seed", 42, "random seed")
-		csvDir = fs.String("csv", "", "also write each table as CSV into this directory")
-		netPre = fs.String("net", "default", "network preset: default|capability|ethernet")
-		list   = fs.Bool("list", false, "list experiments and exit")
+		which   = fs.String("exp", "all", `experiment ids, comma separated, or "all"`)
+		quick   = fs.Bool("quick", false, "reduced sweeps (bench/CI scale)")
+		seed    = fs.Uint64("seed", 42, "random seed")
+		jobs    = fs.Int("j", runtime.NumCPU(), "worker pool size per experiment (1 = serial)")
+		csvDir  = fs.String("csv", "", "also write each table as CSV into this directory")
+		netPre  = fs.String("net", "default", "network preset: default|capability|ethernet")
+		timings = fs.Bool("timings", true, "print per-experiment wall-clock lines")
+		list    = fs.Bool("list", false, "list experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,10 +57,14 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
+	if *jobs < 1 {
+		return fmt.Errorf("-j must be >= 1, have %d", *jobs)
+	}
 
 	o := exp.DefaultOptions()
 	o.Quick = *quick
 	o.Seed = *seed
+	o.Jobs = *jobs
 	switch *netPre {
 	case "default":
 		o.Net = network.DefaultParams()
@@ -75,6 +89,12 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
 	fmt.Fprintf(out, "network: %s\n", o.Net)
 	mode := "full"
 	if o.Quick {
@@ -93,9 +113,6 @@ func run(args []string, out io.Writer) error {
 			t.Fprint(out)
 			fmt.Fprintln(out)
 			if *csvDir != "" {
-				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-					return err
-				}
 				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), ti)
 				f, err := os.Create(filepath.Join(*csvDir, name))
 				if err != nil {
@@ -110,7 +127,11 @@ func run(args []string, out io.Writer) error {
 				}
 			}
 		}
-		fmt.Fprintf(out, "(%s took %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if *timings {
+			fmt.Fprintf(out, "(%s took %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		} else {
+			fmt.Fprintln(out)
+		}
 	}
 	return nil
 }

@@ -67,4 +67,65 @@ func TestErrors(t *testing.T) {
 	if err := run([]string{"-net", "bogus"}, &sb); err == nil {
 		t.Error("bogus preset accepted")
 	}
+	if err := run([]string{"-exp", "E1", "-quick", "-j", "0"}, &sb); err == nil {
+		t.Error("-j 0 accepted")
+	}
+}
+
+// The full CLI path must emit byte-identical output at any -j, and across
+// repeated parallel runs: the acceptance bar for the parallel runner.
+// Timing lines are wall-clock and are suppressed via -timings=false; every
+// other byte, headers and CSV included, must match.
+func TestJobsDeterminismEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full quick experiments")
+	}
+	runWith := func(jobs string, csvDir string) string {
+		args := []string{"-exp", "E2,E4,E8", "-quick", "-seed", "42",
+			"-timings=false", "-j", jobs}
+		if csvDir != "" {
+			args = append(args, "-csv", csvDir)
+		}
+		var sb strings.Builder
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("-j %s: %v", jobs, err)
+		}
+		return sb.String()
+	}
+	dir1, dir8 := t.TempDir(), t.TempDir()
+	serial := runWith("1", dir1)
+	parallel := runWith("8", dir8)
+	if serial != parallel {
+		t.Fatalf("-j 1 and -j 8 outputs differ:\n--- j1 ---\n%s\n--- j8 ---\n%s", serial, parallel)
+	}
+	if again := runWith("8", ""); again != parallel {
+		t.Fatal("two -j 8 runs differ: scheduling leaked into results")
+	}
+	// CSV side channel must be deterministic too.
+	for _, name := range []string{"e2_0.csv", "e4_0.csv", "e8_0.csv", "e8_1.csv"} {
+		a, err := os.ReadFile(filepath.Join(dir1, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir8, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s differs between -j 1 and -j 8", name)
+		}
+	}
+}
+
+// The -csv directory is created before any experiment runs, so an
+// unwritable path fails fast instead of after the first table's sweep.
+func TestCSVDirCreatedUpFront(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "deep")
+	var sb strings.Builder
+	if err := run([]string{"-exp", "E1", "-quick", "-csv", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("csv dir not created: %v", err)
+	}
 }

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden files: go test ./internal/exp -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// renderAll runs one experiment and concatenates its rendered tables —
+// everything cmd/sweep prints for it except the wall-clock line.
+func renderAll(t *testing.T, id string, jobs int) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	o := DefaultOptions()
+	o.Quick = true
+	o.Seed = 42
+	o.Jobs = jobs
+	tables, err := e.Run(o)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		sb.WriteString(tb.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Worker count and scheduling must never leak into results: the rendered
+// tables are byte-identical serially, at -j 8, and across repeated
+// parallel runs. E2, E4, and E8 cover the three point shapes (per-workload
+// baseline groups, (workload, scale) cells, and paired failure runs).
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs quick experiments")
+	}
+	for _, id := range []string{"E2", "E4", "E8"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial := renderAll(t, id, 1)
+			parallel := renderAll(t, id, 8)
+			if serial != parallel {
+				t.Fatalf("%s: -j 1 and -j 8 tables differ:\n--- j1 ---\n%s--- j8 ---\n%s",
+					id, serial, parallel)
+			}
+			if again := renderAll(t, id, 8); again != parallel {
+				t.Fatalf("%s: two -j 8 runs differ — scheduling leaked into results", id)
+			}
+		})
+	}
+}
+
+// The quick-mode seed-42 output is pinned to committed golden files: any
+// change to the RNG keying, the simulator, or the table layout shows up as
+// a reviewable diff instead of silently shifting results.
+func TestGoldenQuickSeed42(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs quick experiments")
+	}
+	for _, id := range []string{"E2", "E4", "E8"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			got := renderAll(t, id, 0) // default worker pool
+			path := filepath.Join("testdata", strings.ToLower(id)+"_quick_seed42.golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from golden %s\n--- got ---\n%s--- want ---\n%s",
+					id, path, got, want)
+			}
+		})
+	}
+}

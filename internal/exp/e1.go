@@ -21,17 +21,17 @@ func E1Validation(o Options) ([]*report.Table, error) {
 		"bytes", "protocol", "sim", "model", "err%")
 	sizes := pick(o, []int64{8, 512, 4096, 32 * 1024, 256 * 1024, 1 << 20},
 		[]int64{8, 4096, 256 * 1024})
-	for _, s := range sizes {
+	err := sweep(pt, o, "E1a", sizes, func(i int, s int64) (rows, error) {
 		b := goal.NewBuilder(2)
 		b.Send(0, 1, 0, s)
 		b.Recv(1, 0, 0, s)
 		prog, err := b.Build()
 		if err != nil {
-			return nil, errf("E1", err)
+			return nil, err
 		}
-		r, err := simulate(net, prog, o.Seed, 0)
+		r, err := simulate(net, prog, pointSeed(o, "E1a", i), 0)
 		if err != nil {
-			return nil, errf("E1", err)
+			return nil, err
 		}
 		var want simtime.Duration
 		proto := "eager"
@@ -45,7 +45,12 @@ func E1Validation(o Options) ([]*report.Table, error) {
 		}
 		sim := simtime.Duration(r.Makespan)
 		errPct := 100 * (float64(sim) - float64(want)) / float64(want)
-		pt.AddRow(s, proto, sim.String(), want.String(), errPct)
+		var rs rows
+		rs.add(s, proto, sim.String(), want.String(), errPct)
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// --- collectives vs tree-depth lower bound ---
@@ -54,7 +59,7 @@ func E1Validation(o Options) ([]*report.Table, error) {
 	scales := pick(o, []int{4, 16, 64, 256, 1024}, []int{4, 16, 64})
 	const cb = 8
 	hop := net.SendCPU(cb) + net.Wire(cb) + net.RecvCPU(cb)
-	for _, p := range scales {
+	err = sweep(ct, o, "E1b", scales, func(i, p int) (rows, error) {
 		type mk struct {
 			name  string
 			build func(b *goal.Builder)
@@ -69,6 +74,7 @@ func E1Validation(o Options) ([]*report.Table, error) {
 			{"allreduce", func(b *goal.Builder) { collective.Allreduce(b, nil, 0, cb) },
 				func(p int) int { return model.TreeDepth(p) }},
 		}
+		var rs rows
 		for _, m := range makers {
 			b := goal.NewBuilder(p)
 			m.build(b)
@@ -77,16 +83,20 @@ func E1Validation(o Options) ([]*report.Table, error) {
 			}
 			prog, err := b.Build()
 			if err != nil {
-				return nil, errf("E1", err)
+				return nil, err
 			}
-			r, err := simulate(net, prog, o.Seed, 0)
+			r, err := simulate(net, prog, pointSeed(o, "E1b", i), 0)
 			if err != nil {
-				return nil, errf("E1", err)
+				return nil, err
 			}
 			lb := simtime.Duration(m.hops(p)) * hop
 			ratio := float64(r.Makespan) / float64(lb)
-			ct.AddRow(m.name, p, simtime.Duration(r.Makespan).String(), lb.String(), ratio)
+			rs.add(m.name, p, simtime.Duration(r.Makespan).String(), lb.String(), ratio)
 		}
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	ct.AddNote("ratio > 1 reflects endpoint serialization (o, g) the depth bound ignores")
 	return []*report.Table{pt, ct}, nil

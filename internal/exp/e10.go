@@ -11,7 +11,7 @@ import (
 // uncoordinated (cluster = 1) and fully coordinated (cluster = P) extremes.
 // The logged fraction falls as clusters grow while coordination cost rises;
 // the sweet spot depends on how much of the workload's traffic stays inside
-// a cluster.
+// a cluster. One sweep point = one workload across all cluster sizes.
 func E10Hierarchical(o Options) ([]*report.Table, error) {
 	net := o.net()
 	ranks := pick(o, 64, 16)
@@ -23,38 +23,44 @@ func E10Hierarchical(o Options) ([]*report.Table, error) {
 
 	t := report.NewTable("E10: hierarchical cluster-size sweep (τ=10ms, δ=1ms, log β=0.2)",
 		"workload", "cluster", "overhead%", "logged-frac", "rounds", "ctl-msgs")
-	for _, w := range workloads {
-		base, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+	err := sweep(t, o, "E10", workloads, func(i int, w string) (rows, error) {
+		sd := pointSeed(o, "E10", i)
+		base, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
 		if err != nil {
-			return nil, errf("E10", err)
+			return nil, err
 		}
-		rBase, err := simulate(net, base, o.Seed, 0)
+		rBase, err := simulate(net, base, sd, 0)
 		if err != nil {
-			return nil, errf("E10", err)
+			return nil, err
 		}
+		var rs rows
 		for _, c := range clusters {
 			if c > ranks {
 				continue
 			}
 			hp, err := checkpoint.NewHierarchical(params, c, logp)
 			if err != nil {
-				return nil, errf("E10", err)
+				return nil, err
 			}
-			prog, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+			prog, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
 			if err != nil {
-				return nil, errf("E10", err)
+				return nil, err
 			}
-			r, err := simulate(net, prog, o.Seed, 0, sim.Agent(hp))
+			r, err := simulate(net, prog, sd, 0, sim.Agent(hp))
 			if err != nil {
-				return nil, errf("E10", err)
+				return nil, err
 			}
 			st := hp.Stats()
 			frac := 0.0
 			if r.Metrics.AppMessages > 0 {
 				frac = float64(st.LoggedMessages) / float64(r.Metrics.AppMessages)
 			}
-			t.AddRow(w, c, overheadPct(r, rBase), frac, st.Rounds, r.Metrics.CtlMessages)
+			rs.add(w, c, overheadPct(r, rBase), frac, st.Rounds, r.Metrics.CtlMessages)
 		}
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return []*report.Table{t}, nil
 }

@@ -12,7 +12,8 @@ import (
 // quiesce latency, gate time, and an exclusive write; the non-blocking
 // variant spreads the same write volume over a window while the
 // application runs slowed. The sweep varies the interference factor and
-// window stretch to show where asynchrony stops paying.
+// window stretch to show where asynchrony stops paying. One sweep point =
+// one workload: baseline, blocking reference, and every variant.
 func E11NonBlocking(o Options) ([]*report.Table, error) {
 	net := o.net()
 	ranks := pick(o, 64, 16)
@@ -22,30 +23,32 @@ func E11NonBlocking(o Options) ([]*report.Table, error) {
 
 	t := report.NewTable("E11: blocking vs non-blocking coordinated (τ=10ms, δ=2ms)",
 		"workload", "protocol", "window", "slowdown", "overhead%", "rounds")
-	for _, w := range workloads {
-		base, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+	err := sweep(t, o, "E11", workloads, func(i int, w string) (rows, error) {
+		sd := pointSeed(o, "E11", i)
+		base, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
 		if err != nil {
-			return nil, errf("E11", err)
+			return nil, err
 		}
-		rBase, err := simulate(net, base, o.Seed, 0)
+		rBase, err := simulate(net, base, sd, 0)
 		if err != nil {
-			return nil, errf("E11", err)
+			return nil, err
 		}
 
 		// Blocking reference.
 		cp, err := checkpoint.NewCoordinated(params)
 		if err != nil {
-			return nil, errf("E11", err)
+			return nil, err
 		}
-		prog, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+		prog, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
 		if err != nil {
-			return nil, errf("E11", err)
+			return nil, err
 		}
-		r, err := simulate(net, prog, o.Seed, 0, sim.Agent(cp))
+		r, err := simulate(net, prog, sd, 0, sim.Agent(cp))
 		if err != nil {
-			return nil, errf("E11", err)
+			return nil, err
 		}
-		t.AddRow(w, "blocking", "-", "-", overheadPct(r, rBase), cp.Stats().Rounds)
+		var rs rows
+		rs.add(w, "blocking", "-", "-", overheadPct(r, rBase), cp.Stats().Rounds)
 
 		type variant struct {
 			window   simtime.Duration
@@ -63,19 +66,23 @@ func E11NonBlocking(o Options) ([]*report.Table, error) {
 			nb, err := checkpoint.NewNonBlockingCoordinated(checkpoint.NonBlockingParams{
 				Params: params, Window: v.window, Slowdown: v.slowdown})
 			if err != nil {
-				return nil, errf("E11", err)
+				return nil, err
 			}
-			prog, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+			prog, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
 			if err != nil {
-				return nil, errf("E11", err)
+				return nil, err
 			}
-			r, err := simulate(net, prog, o.Seed, 0, sim.Agent(nb))
+			r, err := simulate(net, prog, sd, 0, sim.Agent(nb))
 			if err != nil {
-				return nil, errf("E11", err)
+				return nil, err
 			}
-			t.AddRow(w, "non-blocking", v.window.String(), v.slowdown,
+			rs.add(w, "non-blocking", v.window.String(), v.slowdown,
 				overheadPct(r, rBase), nb.Stats().Rounds)
 		}
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddNote("non-blocking charges no quiesce or gate; interference = (slowdown-1) during window")
 	return []*report.Table{t}, nil

@@ -12,7 +12,7 @@ import (
 // image-size divided by the filesystem bandwidth share) against diskless
 // partner checkpointing, where the image travels over the interconnect to a
 // buddy node and contends with application traffic. The sweep varies the
-// checkpoint image size.
+// checkpoint image size. One sweep point = one workload across all sizes.
 func E12Partner(o Options) ([]*report.Table, error) {
 	net := o.net()
 	ranks := pick(o, 64, 16)
@@ -24,18 +24,21 @@ func E12Partner(o Options) ([]*report.Table, error) {
 	sizes := pick(o,
 		[]int64{256 * 1024, 1 << 20, 4 << 20},
 		[]int64{256 * 1024, 1 << 20})
+	workloads := pick(o, []string{"stencil2d", "transpose"}, []string{"stencil2d"})
 
 	t := report.NewTable("E12: local-write vs partner (diskless) checkpointing, τ=10ms",
 		"workload", "image", "protocol", "overhead%", "writes", "net-MB-shipped")
-	for _, w := range pick(o, []string{"stencil2d", "transpose"}, []string{"stencil2d"}) {
-		base, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+	err := sweep(t, o, "E12", workloads, func(i int, w string) (rows, error) {
+		sd := pointSeed(o, "E12", i)
+		base, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
 		if err != nil {
-			return nil, errf("E12", err)
+			return nil, err
 		}
-		rBase, err := simulate(net, base, o.Seed, 0)
+		rBase, err := simulate(net, base, sd, 0)
 		if err != nil {
-			return nil, errf("E12", err)
+			return nil, err
 		}
+		var rs rows
 		for _, size := range sizes {
 			writeDur := simtime.FromSeconds(float64(size) / fsBytesPerSec)
 
@@ -44,17 +47,17 @@ func E12Partner(o Options) ([]*report.Table, error) {
 				checkpoint.Params{Interval: interval, Write: writeDur},
 				checkpoint.Staggered, checkpoint.LogParams{})
 			if err != nil {
-				return nil, errf("E12", err)
+				return nil, err
 			}
-			prog, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+			prog, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
 			if err != nil {
-				return nil, errf("E12", err)
+				return nil, err
 			}
-			r, err := simulate(net, prog, o.Seed, 0, sim.Agent(up))
+			r, err := simulate(net, prog, sd, 0, sim.Agent(up))
 			if err != nil {
-				return nil, errf("E12", err)
+				return nil, err
 			}
-			t.AddRow(w, size, "local-write", overheadPct(r, rBase), up.Stats().Writes, 0.0)
+			rs.add(w, size, "local-write", overheadPct(r, rBase), up.Stats().Writes, 0.0)
 
 			// Partner: short serialize seizure + real network transfer.
 			pt, err := checkpoint.NewPartner(checkpoint.PartnerParams{
@@ -64,20 +67,24 @@ func E12Partner(o Options) ([]*report.Table, error) {
 				Offsets:       checkpoint.Staggered,
 			})
 			if err != nil {
-				return nil, errf("E12", err)
+				return nil, err
 			}
-			prog2, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+			prog2, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
 			if err != nil {
-				return nil, errf("E12", err)
+				return nil, err
 			}
-			r2, err := simulate(net, prog2, o.Seed, 0, sim.Agent(pt))
+			r2, err := simulate(net, prog2, sd, 0, sim.Agent(pt))
 			if err != nil {
-				return nil, errf("E12", err)
+				return nil, err
 			}
 			shipped, _ := pt.Shipped()
-			t.AddRow(w, size, "partner", overheadPct(r2, rBase), pt.Stats().Writes,
+			rs.add(w, size, "partner", overheadPct(r2, rBase), pt.Stats().Writes,
 				float64(shipped)/(1<<20))
 		}
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddNote("local write = image/1GBps exclusive seizure; partner = image/10 serialize + interconnect transfer")
 	return []*report.Table{t}, nil

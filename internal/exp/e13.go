@@ -14,7 +14,7 @@ import (
 // other ranks have idle slack every iteration — slack that an aligned
 // uncoordinated write can hide inside, while a coordinated round's quiesce
 // must wait for the straggler and a staggered write adds a second,
-// out-of-phase stall.
+// out-of-phase stall. One sweep point = one straggler factor.
 func E13Straggler(o Options) ([]*report.Table, error) {
 	net := o.net()
 	ranks := pick(o, 64, 16)
@@ -22,10 +22,10 @@ func E13Straggler(o Options) ([]*report.Table, error) {
 	factors := pick(o, []float64{1.0, 1.5, 2.0, 4.0}, []float64{1.0, 2.0})
 	params := checkpoint.Params{Interval: 10 * simtime.Millisecond, Write: 2 * simtime.Millisecond}
 
-	build := func(factor float64) (*sim.Result, error) {
+	run := func(factor float64, seed uint64, agents ...sim.Agent) (*sim.Result, error) {
 		p, err := workload.Straggler(workload.StragglerConfig{
 			Base: workload.Base{Ranks: ranks, Iterations: iters,
-				Compute: simtime.Millisecond, Seed: o.Seed},
+				Compute: simtime.Millisecond, Seed: seed},
 			HaloBytes: 4096,
 			Factor:    factor,
 			SlowRank:  ranks / 2,
@@ -33,28 +33,16 @@ func E13Straggler(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return simulate(net, p, o.Seed, 0)
-	}
-	buildWith := func(factor float64, proto checkpoint.Protocol) (*sim.Result, error) {
-		p, err := workload.Straggler(workload.StragglerConfig{
-			Base: workload.Base{Ranks: ranks, Iterations: iters,
-				Compute: simtime.Millisecond, Seed: o.Seed},
-			HaloBytes: 4096,
-			Factor:    factor,
-			SlowRank:  ranks / 2,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return simulate(net, p, o.Seed, 0, sim.Agent(proto))
+		return simulate(net, p, seed, 0, agents...)
 	}
 
 	t := report.NewTable("E13: checkpointing under a straggler (τ=10ms, δ=2ms)",
 		"straggler-x", "protocol", "makespan", "overhead-vs-own-baseline%")
-	for _, f := range factors {
-		rBase, err := build(f)
+	err := sweep(t, o, "E13", factors, func(i int, f float64) (rows, error) {
+		sd := pointSeed(o, "E13", i)
+		rBase, err := run(f, sd)
 		if err != nil {
-			return nil, errf("E13", err)
+			return nil, err
 		}
 		protos := func() []checkpoint.Protocol {
 			cp, _ := checkpoint.NewCoordinated(params)
@@ -62,14 +50,19 @@ func E13Straggler(o Options) ([]*report.Table, error) {
 			us, _ := checkpoint.NewUncoordinated(params, checkpoint.Staggered, checkpoint.LogParams{})
 			return []checkpoint.Protocol{cp, ua, us}
 		}()
+		var rs rows
 		for _, proto := range protos {
-			r, err := buildWith(f, proto)
+			r, err := run(f, sd, sim.Agent(proto))
 			if err != nil {
-				return nil, errf("E13", err)
+				return nil, err
 			}
-			t.AddRow(f, proto.Name(), simtime.Duration(r.Makespan).String(),
+			rs.add(f, proto.Name(), simtime.Duration(r.Makespan).String(),
 				overheadPct(r, rBase))
 		}
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddNote("baseline for each row is the straggler run without checkpointing: the column isolates protocol cost under imbalance")
 	return []*report.Table{t}, nil

@@ -11,7 +11,7 @@ import (
 // checkpointing picture: partner checkpointing ships images through the
 // same fabric the application uses, so its advantage over local writes
 // (E12) erodes as the fabric tightens — and the application itself slows
-// even without checkpointing.
+// even without checkpointing. One sweep point = one bisection bandwidth.
 func E14Fabric(o Options) ([]*report.Table, error) {
 	ranks := pick(o, 64, 16)
 	iters := pick(o, 40, 15)
@@ -27,7 +27,8 @@ func E14Fabric(o Options) ([]*report.Table, error) {
 
 	t := report.NewTable("E14: partner checkpointing under fabric contention (transpose, 1MiB images)",
 		"bisection-GB/s", "baseline-makespan", "protocol", "overhead%", "fabric-busy")
-	for _, bis := range bisections {
+	err := sweep(t, o, "E14", bisections, func(i int, bis float64) (rows, error) {
+		sd := pointSeed(o, "E14", i)
 		net := o.net()
 		net.BisectionBytesPerSec = bis
 		label := "inf"
@@ -35,31 +36,32 @@ func E14Fabric(o Options) ([]*report.Table, error) {
 			label = report.Cell(bis / 1e9)
 		}
 
-		base, err := buildProg("transpose", ranks, iters, ms(1), 32*1024, o.Seed)
+		base, err := buildProg("transpose", ranks, iters, ms(1), 32*1024, sd)
 		if err != nil {
-			return nil, errf("E14", err)
+			return nil, err
 		}
-		rBase, err := simulate(net, base, o.Seed, 0)
+		rBase, err := simulate(net, base, sd, 0)
 		if err != nil {
-			return nil, errf("E14", err)
+			return nil, err
 		}
+		var rs rows
 
 		// Local writes: no extra fabric traffic.
 		up, err := checkpoint.NewUncoordinated(
 			checkpoint.Params{Interval: interval, Write: writeDur},
 			checkpoint.Staggered, checkpoint.LogParams{})
 		if err != nil {
-			return nil, errf("E14", err)
+			return nil, err
 		}
-		prog, err := buildProg("transpose", ranks, iters, ms(1), 32*1024, o.Seed)
+		prog, err := buildProg("transpose", ranks, iters, ms(1), 32*1024, sd)
 		if err != nil {
-			return nil, errf("E14", err)
+			return nil, err
 		}
-		r, err := simulate(net, prog, o.Seed, 0, sim.Agent(up))
+		r, err := simulate(net, prog, sd, 0, sim.Agent(up))
 		if err != nil {
-			return nil, errf("E14", err)
+			return nil, err
 		}
-		t.AddRow(label, simtime.Duration(rBase.Makespan).String(), "local-write",
+		rs.add(label, simtime.Duration(rBase.Makespan).String(), "local-write",
 			overheadPct(r, rBase), r.Metrics.FabricBusy.String())
 
 		// Partner: images compete for the bisection.
@@ -70,18 +72,22 @@ func E14Fabric(o Options) ([]*report.Table, error) {
 			Offsets:       checkpoint.Staggered,
 		})
 		if err != nil {
-			return nil, errf("E14", err)
+			return nil, err
 		}
-		prog2, err := buildProg("transpose", ranks, iters, ms(1), 32*1024, o.Seed)
+		prog2, err := buildProg("transpose", ranks, iters, ms(1), 32*1024, sd)
 		if err != nil {
-			return nil, errf("E14", err)
+			return nil, err
 		}
-		r2, err := simulate(net, prog2, o.Seed, 0, sim.Agent(pt))
+		r2, err := simulate(net, prog2, sd, 0, sim.Agent(pt))
 		if err != nil {
-			return nil, errf("E14", err)
+			return nil, err
 		}
-		t.AddRow(label, simtime.Duration(rBase.Makespan).String(), "partner",
+		rs.add(label, simtime.Duration(rBase.Makespan).String(), "partner",
 			overheadPct(r2, rBase), r2.Metrics.FabricBusy.String())
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddNote("overheads are relative to the baseline at the same bisection; the baseline column shows the app slowing by itself")
 	return []*report.Table{t}, nil

@@ -13,6 +13,7 @@ import (
 // communication schedule; the same total CPU theft delivered as rare, long
 // detours (which is exactly what checkpoint writes are) lands on the
 // critical path and is amplified. Checkpointing is the worst-shaped noise.
+// One sweep point = one workload across every noise period.
 func E15Resonance(o Options) ([]*report.Table, error) {
 	net := o.net()
 	ranks := pick(o, 64, 16)
@@ -26,32 +27,38 @@ func E15Resonance(o Options) ([]*report.Table, error) {
 
 	t := report.NewTable("E15: noise-shape resonance at fixed 2.5% duty cycle",
 		"workload", "period", "event-duration", "overhead%", "amplification")
-	for _, w := range workloads {
-		base, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+	err := sweep(t, o, "E15", workloads, func(i int, w string) (rows, error) {
+		sd := pointSeed(o, "E15", i)
+		base, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
 		if err != nil {
-			return nil, errf("E15", err)
+			return nil, err
 		}
-		rBase, err := simulate(net, base, o.Seed, 0)
+		rBase, err := simulate(net, base, sd, 0)
 		if err != nil {
-			return nil, errf("E15", err)
+			return nil, err
 		}
+		var rs rows
 		for _, period := range periods {
 			dur := period.Scale(duty)
 			inj, err := noise.NewInjector(noise.Config{Period: period, Duration: dur})
 			if err != nil {
-				return nil, errf("E15", err)
+				return nil, err
 			}
-			prog, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+			prog, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
 			if err != nil {
-				return nil, errf("E15", err)
+				return nil, err
 			}
-			r, err := simulate(net, prog, o.Seed, 0, sim.Agent(inj))
+			r, err := simulate(net, prog, sd, 0, sim.Agent(inj))
 			if err != nil {
-				return nil, errf("E15", err)
+				return nil, err
 			}
 			ov := overheadPct(r, rBase)
-			t.AddRow(w, period.String(), dur.String(), ov, ov/(duty*100))
+			rs.add(w, period.String(), dur.String(), ov, ov/(duty*100))
 		}
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddNote("same CPU theft per rank in every row; only the event shape changes")
 	return []*report.Table{t}, nil

@@ -12,7 +12,8 @@ import (
 // E16TwoLevel compares single-level coordinated checkpointing against the
 // multilevel (SCR/FTI-class) protocol: frequent cheap local checkpoints
 // backed by rare expensive global ones. The win depends on what fraction of
-// failures the local level can serve — the sweep axis.
+// failures the local level can serve — the sweep axis. The single-level
+// reference is sweep point 0; each coverage level is its own point.
 func E16TwoLevel(o Options) ([]*report.Table, error) {
 	net := o.net()
 	ranks := pick(o, 64, 16)
@@ -41,33 +42,47 @@ func E16TwoLevel(o Options) ([]*report.Table, error) {
 		return nil, errf("E16", err)
 	}
 
-	// Single-level reference: coordinated at the Daly-optimal interval.
-	cp, err := checkpoint.NewCoordinated(checkpoint.Params{Interval: tauG, Write: globalWrite})
-	if err != nil {
-		return nil, errf("E16", err)
+	type pt struct {
+		single bool
+		cov    float64
 	}
-	injG, err := failure.NewInjector(failure.Config{
-		MTBF: mtbf, Restart: restart, Kind: failure.RollbackGlobal}, cp)
-	if err != nil {
-		return nil, errf("E16", err)
-	}
-	prog, err := buildProg("stencil2d", ranks, iters, ms(1), 4096, o.Seed)
-	if err != nil {
-		return nil, errf("E16", err)
-	}
-	rG, err := simulate(net, prog, o.Seed, simtime.Time(300*simtime.Second),
-		sim.Agent(cp), sim.Agent(injG))
-	if err != nil {
-		return nil, errf("E16", err)
-	}
-	t.AddRow("-", "single-level", "-/"+tauG.String(), len(injG.Events()),
-		simtime.Duration(rG.Makespan).String(), overheadPct(rG, rBase),
-		report.Cell(cp.Stats().Writes))
-
+	points := []pt{{single: true}}
 	for _, cov := range coverages {
+		points = append(points, pt{cov: cov})
+	}
+
+	err = sweep(t, o, "E16", points, func(i int, p pt) (rows, error) {
+		sd := pointSeed(o, "E16", i)
+		var rs rows
+		if p.single {
+			// Single-level reference: coordinated at the Daly-optimal interval.
+			cp, err := checkpoint.NewCoordinated(checkpoint.Params{Interval: tauG, Write: globalWrite})
+			if err != nil {
+				return nil, err
+			}
+			injG, err := failure.NewInjector(failure.Config{
+				MTBF: mtbf, Restart: restart, Kind: failure.RollbackGlobal}, cp)
+			if err != nil {
+				return nil, err
+			}
+			prog, err := buildProg("stencil2d", ranks, iters, ms(1), 4096, sd)
+			if err != nil {
+				return nil, err
+			}
+			rG, err := simulate(net, prog, sd, simtime.Time(300*simtime.Second),
+				sim.Agent(cp), sim.Agent(injG))
+			if err != nil {
+				return nil, err
+			}
+			rs.add("-", "single-level", "-/"+tauG.String(), len(injG.Events()),
+				simtime.Duration(rG.Makespan).String(), overheadPct(rG, rBase),
+				report.Cell(cp.Stats().Writes))
+			return rs, nil
+		}
+
 		// Each level gets its own Daly interval for the failure share it
 		// serves — the standard multilevel optimization.
-		tl0, tg0 := model.TwoLevelIntervals(localWrite.Seconds(), globalWrite.Seconds(), sys, cov)
+		tl0, tg0 := model.TwoLevelIntervals(localWrite.Seconds(), globalWrite.Seconds(), sys, p.cov)
 		tauL := simtime.FromSeconds(tl0)
 		tauGL := simtime.FromSeconds(tg0)
 		tl, err := checkpoint.NewTwoLevel(checkpoint.TwoLevelParams{
@@ -75,28 +90,32 @@ func E16TwoLevel(o Options) ([]*report.Table, error) {
 			GlobalInterval: tauGL, GlobalWrite: globalWrite,
 		})
 		if err != nil {
-			return nil, errf("E16", err)
+			return nil, err
 		}
 		inj, err := failure.NewInjector(failure.Config{
 			MTBF: mtbf, Restart: restart,
-			LocalRestart: restart / 10, LocalCoverage: cov,
+			LocalRestart: restart / 10, LocalCoverage: p.cov,
 			Kind: failure.RecoverTwoLevel}, tl)
 		if err != nil {
-			return nil, errf("E16", err)
+			return nil, err
 		}
-		prog, err := buildProg("stencil2d", ranks, iters, ms(1), 4096, o.Seed)
+		prog, err := buildProg("stencil2d", ranks, iters, ms(1), 4096, sd)
 		if err != nil {
-			return nil, errf("E16", err)
+			return nil, err
 		}
-		r, err := simulate(net, prog, o.Seed, simtime.Time(300*simtime.Second),
+		r, err := simulate(net, prog, sd, simtime.Time(300*simtime.Second),
 			sim.Agent(tl), sim.Agent(inj))
 		if err != nil {
-			return nil, errf("E16", err)
+			return nil, err
 		}
 		local, global := tl.LevelWrites()
-		t.AddRow(cov, "two-level", tauL.String()+"/"+tauGL.String(), len(inj.Events()),
+		rs.add(p.cov, "two-level", tauL.String()+"/"+tauGL.String(), len(inj.Events()),
 			simtime.Duration(r.Makespan).String(), overheadPct(r, rBase),
 			report.Cell(local)+"/"+report.Cell(global))
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddNote("per-level Daly intervals: τ_L = Daly(δ_L, θ_sys/cov), τ_G = Daly(δ_G, θ_sys/(1−cov)); local restart = R/10")
 	return []*report.Table{t}, nil

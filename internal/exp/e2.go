@@ -12,6 +12,9 @@ import (
 // amplification column — overhead divided by duty cycle — is the headline:
 // 1.0 means the pattern absorbs interruptions perfectly (EP); larger values
 // mean the dependency structure propagates and compounds them.
+//
+// One sweep point = one workload: the baseline and every duty-cycle run
+// share the point's RNG stream so the comparison stays paired.
 func E2Propagation(o Options) ([]*report.Table, error) {
 	net := o.net()
 	ranks := pick(o, 64, 16)
@@ -26,34 +29,40 @@ func E2Propagation(o Options) ([]*report.Table, error) {
 
 	t := report.NewTable("E2: slowdown from local interruptions (noise period 10ms, random phase)",
 		"workload", "duty%", "slowdown", "overhead%", "amplification")
-	for _, w := range workloads {
-		base, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+	err := sweep(t, o, "E2", workloads, func(i int, w string) (rows, error) {
+		sd := pointSeed(o, "E2", i)
+		base, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
 		if err != nil {
-			return nil, errf("E2", err)
+			return nil, err
 		}
-		rBase, err := simulate(net, base, o.Seed, 0)
+		rBase, err := simulate(net, base, sd, 0)
 		if err != nil {
-			return nil, errf("E2", err)
+			return nil, err
 		}
+		var rs rows
 		for _, duty := range duties {
-			prog, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+			prog, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
 			if err != nil {
-				return nil, errf("E2", err)
+				return nil, err
 			}
 			inj, err := noise.NewInjector(noise.Config{
 				Period:   period,
 				Duration: period.Scale(duty),
 			})
 			if err != nil {
-				return nil, errf("E2", err)
+				return nil, err
 			}
-			r, err := simulate(net, prog, o.Seed, 0, sim.Agent(inj))
+			r, err := simulate(net, prog, sd, 0, sim.Agent(inj))
 			if err != nil {
-				return nil, errf("E2", err)
+				return nil, err
 			}
 			ov := overheadPct(r, rBase)
-			t.AddRow(w, duty*100, r.Slowdown(rBase), ov, ov/(duty*100))
+			rs.add(w, duty*100, r.Slowdown(rBase), ov, ov/(duty*100))
 		}
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddNote("amplification 1.0 = interruptions fully absorbed; >1 = propagated through messages")
 	return []*report.Table{t}, nil

@@ -12,7 +12,7 @@ import (
 // the machine grows: the quiesce latency (round start to commit), the full
 // round span, and the decomposition against the closed-form tree latency —
 // the difference is synchronization idling, i.e. waiting for ranks to reach
-// an operation boundary.
+// an operation boundary. One sweep point = one machine size.
 func E3Coordination(o Options) ([]*report.Table, error) {
 	net := o.net()
 	scales := pick(o, []int{16, 64, 256, 1024}, []int{16, 64})
@@ -20,23 +20,25 @@ func E3Coordination(o Options) ([]*report.Table, error) {
 
 	t := report.NewTable("E3: coordinated round cost vs scale (stencil2d, 0.5ms ops)",
 		"P", "rounds", "quiesce/round", "tree-model", "sync-idle", "span/round", "ctl-msgs")
-	for _, p := range scales {
-		prog, err := buildProg("stencil2d", p, pick(o, 80, 30), 500*simtime.Microsecond, 4096, o.Seed)
+	err := sweep(t, o, "E3", scales, func(i, p int) (rows, error) {
+		sd := pointSeed(o, "E3", i)
+		prog, err := buildProg("stencil2d", p, pick(o, 80, 30), 500*simtime.Microsecond, 4096, sd)
 		if err != nil {
-			return nil, errf("E3", err)
+			return nil, err
 		}
 		cp, err := checkpoint.NewCoordinated(params)
 		if err != nil {
-			return nil, errf("E3", err)
+			return nil, err
 		}
-		r, err := simulate(net, prog, o.Seed, 0, sim.Agent(cp))
+		r, err := simulate(net, prog, sd, 0, sim.Agent(cp))
 		if err != nil {
-			return nil, errf("E3", err)
+			return nil, err
 		}
+		var rs rows
 		st := cp.Stats()
 		if st.Rounds == 0 {
-			t.AddRow(p, 0, "-", "-", "-", "-", r.Metrics.CtlMessages)
-			continue
+			rs.add(p, 0, "-", "-", "-", "-", r.Metrics.CtlMessages)
+			return rs, nil
 		}
 		quiesce := st.CoordDelay / simtime.Duration(st.Rounds)
 		span := st.RoundSpan / simtime.Duration(st.Rounds)
@@ -46,8 +48,12 @@ func E3Coordination(o Options) ([]*report.Table, error) {
 			treeModel = simtime.FromSeconds(model.CoordinationDelay(p, net, 64))
 		}
 		idle := quiesce - treeModel
-		t.AddRow(p, st.Rounds, quiesce.String(), treeModel.String(), idle.String(),
+		rs.add(p, st.Rounds, quiesce.String(), treeModel.String(), idle.String(),
 			span.String(), r.Metrics.CtlMessages)
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddNote("sync-idle = measured quiesce latency minus the pure network tree latency")
 	return []*report.Table{t}, nil

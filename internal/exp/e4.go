@@ -10,7 +10,8 @@ import (
 // E4WeakScaling sweeps machine size and reports failure-free checkpointing
 // overhead for the coordinated protocol and the three uncoordinated offset
 // policies (with a modest logging tax), over a halo-exchange code and an
-// allreduce-dominated code.
+// allreduce-dominated code. One sweep point = one (workload, scale) cell:
+// its baseline and the four protocol runs share the point's RNG stream.
 func E4WeakScaling(o Options) ([]*report.Table, error) {
 	net := o.net()
 	scales := pick(o, []int{16, 64, 256, 1024}, []int{16, 64})
@@ -19,40 +20,55 @@ func E4WeakScaling(o Options) ([]*report.Table, error) {
 	logp := checkpoint.LogParams{Alpha: 500 * simtime.Nanosecond, BetaNsPerByte: 0.1}
 	iters := pick(o, 40, 15)
 
-	t := report.NewTable("E4: failure-free checkpoint overhead vs scale (τ=10ms, δ=1ms)",
-		"workload", "P", "protocol", "makespan", "overhead%", "writes")
+	type cell struct {
+		w string
+		p int
+	}
+	var points []cell
 	for _, w := range workloads {
 		for _, p := range scales {
-			base, err := buildProg(w, p, iters, ms(1), 4096, o.Seed)
-			if err != nil {
-				return nil, errf("E4", err)
-			}
-			rBase, err := simulate(net, base, o.Seed, 0)
-			if err != nil {
-				return nil, errf("E4", err)
-			}
-			t.AddRow(w, p, "none", simtime.Duration(rBase.Makespan).String(), 0.0, 0)
-
-			protos := func() []checkpoint.Protocol {
-				cp, _ := checkpoint.NewCoordinated(params)
-				ua, _ := checkpoint.NewUncoordinated(params, checkpoint.Aligned, logp)
-				us, _ := checkpoint.NewUncoordinated(params, checkpoint.Staggered, logp)
-				ur, _ := checkpoint.NewUncoordinated(params, checkpoint.Random, logp)
-				return []checkpoint.Protocol{cp, ua, us, ur}
-			}()
-			for _, proto := range protos {
-				prog, err := buildProg(w, p, iters, ms(1), 4096, o.Seed)
-				if err != nil {
-					return nil, errf("E4", err)
-				}
-				r, err := simulate(net, prog, o.Seed, 0, sim.Agent(proto))
-				if err != nil {
-					return nil, errf("E4", err)
-				}
-				t.AddRow(w, p, proto.Name(), simtime.Duration(r.Makespan).String(),
-					overheadPct(r, rBase), proto.Stats().Writes)
-			}
+			points = append(points, cell{w, p})
 		}
+	}
+
+	t := report.NewTable("E4: failure-free checkpoint overhead vs scale (τ=10ms, δ=1ms)",
+		"workload", "P", "protocol", "makespan", "overhead%", "writes")
+	err := sweep(t, o, "E4", points, func(i int, c cell) (rows, error) {
+		sd := pointSeed(o, "E4", i)
+		base, err := buildProg(c.w, c.p, iters, ms(1), 4096, sd)
+		if err != nil {
+			return nil, err
+		}
+		rBase, err := simulate(net, base, sd, 0)
+		if err != nil {
+			return nil, err
+		}
+		var rs rows
+		rs.add(c.w, c.p, "none", simtime.Duration(rBase.Makespan).String(), 0.0, 0)
+
+		protos := func() []checkpoint.Protocol {
+			cp, _ := checkpoint.NewCoordinated(params)
+			ua, _ := checkpoint.NewUncoordinated(params, checkpoint.Aligned, logp)
+			us, _ := checkpoint.NewUncoordinated(params, checkpoint.Staggered, logp)
+			ur, _ := checkpoint.NewUncoordinated(params, checkpoint.Random, logp)
+			return []checkpoint.Protocol{cp, ua, us, ur}
+		}()
+		for _, proto := range protos {
+			prog, err := buildProg(c.w, c.p, iters, ms(1), 4096, sd)
+			if err != nil {
+				return nil, err
+			}
+			r, err := simulate(net, prog, sd, 0, sim.Agent(proto))
+			if err != nil {
+				return nil, err
+			}
+			rs.add(c.w, c.p, proto.Name(), simtime.Duration(r.Makespan).String(),
+				overheadPct(r, rBase), proto.Stats().Writes)
+		}
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddNote("uncoordinated protocols carry logging α=0.5µs, β=0.1ns/B; coordinated pays tree coordination")
 	return []*report.Table{t}, nil

@@ -12,6 +12,7 @@ import (
 // and zero write time) so the measured overhead is purely the per-send CPU
 // penalty and its propagation. Latency-bound codes (cg, small messages)
 // respond to α; bandwidth-bound codes (transpose, large blocks) respond to β.
+// One sweep point = one workload, covering the full (α, β) grid.
 func E5Logging(o Options) ([]*report.Table, error) {
 	net := o.net()
 	ranks := pick(o, 64, 16)
@@ -29,15 +30,17 @@ func E5Logging(o Options) ([]*report.Table, error) {
 
 	t := report.NewTable("E5: message-logging overhead (no checkpoint writes)",
 		"workload", "msg-bytes", "alpha", "beta(ns/B)", "overhead%", "logged-msgs", "logged-MB")
-	for _, w := range wls {
-		base, err := buildProg(w.name, ranks, iters, ms(1), w.bytes, o.Seed)
+	err := sweep(t, o, "E5", wls, func(i int, w wl) (rows, error) {
+		sd := pointSeed(o, "E5", i)
+		base, err := buildProg(w.name, ranks, iters, ms(1), w.bytes, sd)
 		if err != nil {
-			return nil, errf("E5", err)
+			return nil, err
 		}
-		rBase, err := simulate(net, base, o.Seed, 0)
+		rBase, err := simulate(net, base, sd, 0)
 		if err != nil {
-			return nil, errf("E5", err)
+			return nil, err
 		}
+		var rs rows
 		for _, a := range alphas {
 			for _, b := range betas {
 				if a == 0 && b == 0 {
@@ -46,21 +49,25 @@ func E5Logging(o Options) ([]*report.Table, error) {
 				up, err := checkpoint.NewUncoordinated(idle, checkpoint.Staggered,
 					checkpoint.LogParams{Alpha: a, BetaNsPerByte: b})
 				if err != nil {
-					return nil, errf("E5", err)
+					return nil, err
 				}
-				prog, err := buildProg(w.name, ranks, iters, ms(1), w.bytes, o.Seed)
+				prog, err := buildProg(w.name, ranks, iters, ms(1), w.bytes, sd)
 				if err != nil {
-					return nil, errf("E5", err)
+					return nil, err
 				}
-				r, err := simulate(net, prog, o.Seed, 0, sim.Agent(up))
+				r, err := simulate(net, prog, sd, 0, sim.Agent(up))
 				if err != nil {
-					return nil, errf("E5", err)
+					return nil, err
 				}
 				st := up.Stats()
-				t.AddRow(w.name, w.bytes, a.String(), b, overheadPct(r, rBase),
+				rs.add(w.name, w.bytes, a.String(), b, overheadPct(r, rBase),
 					st.LoggedMessages, float64(st.LoggedBytes)/(1<<20))
 			}
 		}
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return []*report.Table{t}, nil
 }

@@ -13,6 +13,11 @@ import (
 // per-node MTBF sweep: coordinated checkpointing with global rollback
 // against uncoordinated (staggered, with logging) with single-rank log
 // replay. Each uses its own Daly-optimal interval for the configuration.
+//
+// One sweep point = one MTBF; all three protocol runs in a point share the
+// point's RNG stream, so they see identical failure clocks and differ only
+// in victims and recovery costs. The failure-free baseline is agent-free
+// and therefore seed-insensitive; it is computed once and shared.
 func E7Recovery(o Options) ([]*report.Table, error) {
 	net := o.net()
 	ranks := pick(o, 64, 16)
@@ -38,32 +43,35 @@ func E7Recovery(o Options) ([]*report.Table, error) {
 		return nil, errf("E7", err)
 	}
 
-	for _, mtbf := range mtbfs {
+	err = sweep(t, o, "E7", mtbfs, func(i int, mtbf simtime.Duration) (rows, error) {
+		sd := pointSeed(o, "E7", i)
 		sys := float64(mtbf.Seconds()) / float64(ranks)
 		tau := simtime.FromSeconds(model.DalyInterval(write.Seconds(), sys))
 		if tau <= 0 {
 			tau = write * 2
 		}
+		var rs rows
+
 		// Coordinated + global rollback.
 		cp, err := checkpoint.NewCoordinated(checkpoint.Params{Interval: tau, Write: write})
 		if err != nil {
-			return nil, errf("E7", err)
+			return nil, err
 		}
 		injG, err := failure.NewInjector(failure.Config{
 			MTBF: mtbf, Restart: restart, Kind: failure.RollbackGlobal}, cp)
 		if err != nil {
-			return nil, errf("E7", err)
+			return nil, err
 		}
-		prog, err := buildProg("stencil2d", ranks, iters, ms(1), 4096, o.Seed)
+		prog, err := buildProg("stencil2d", ranks, iters, ms(1), 4096, sd)
 		if err != nil {
-			return nil, errf("E7", err)
+			return nil, err
 		}
-		rG, err := simulate(net, prog, o.Seed, simtime.Time(300*simtime.Second),
+		rG, err := simulate(net, prog, sd, simtime.Time(300*simtime.Second),
 			sim.Agent(cp), sim.Agent(injG))
 		if err != nil {
-			return nil, errf("E7", err)
+			return nil, err
 		}
-		t.AddRow(mtbf.String(), "coordinated+rollback", tau.String(), len(injG.Events()),
+		rs.add(mtbf.String(), "coordinated+rollback", tau.String(), len(injG.Events()),
 			simtime.Duration(rG.Makespan).String(), overheadPct(rG, rBase),
 			injG.TotalLost().String())
 
@@ -71,23 +79,23 @@ func E7Recovery(o Options) ([]*report.Table, error) {
 		up, err := checkpoint.NewUncoordinated(checkpoint.Params{Interval: tau, Write: write},
 			checkpoint.Staggered, logp)
 		if err != nil {
-			return nil, errf("E7", err)
+			return nil, err
 		}
 		injL, err := failure.NewInjector(failure.Config{
 			MTBF: mtbf, Restart: restart, ReplaySpeedup: 2, Kind: failure.ReplayLocal}, up)
 		if err != nil {
-			return nil, errf("E7", err)
+			return nil, err
 		}
-		prog2, err := buildProg("stencil2d", ranks, iters, ms(1), 4096, o.Seed)
+		prog2, err := buildProg("stencil2d", ranks, iters, ms(1), 4096, sd)
 		if err != nil {
-			return nil, errf("E7", err)
+			return nil, err
 		}
-		rL, err := simulate(net, prog2, o.Seed, simtime.Time(300*simtime.Second),
+		rL, err := simulate(net, prog2, sd, simtime.Time(300*simtime.Second),
 			sim.Agent(up), sim.Agent(injL))
 		if err != nil {
-			return nil, errf("E7", err)
+			return nil, err
 		}
-		t.AddRow(mtbf.String(), "uncoordinated+replay", tau.String(), len(injL.Events()),
+		rs.add(mtbf.String(), "uncoordinated+replay", tau.String(), len(injL.Events()),
 			simtime.Duration(rL.Makespan).String(), overheadPct(rL, rBase),
 			injL.TotalLost().String())
 
@@ -95,25 +103,29 @@ func E7Recovery(o Options) ([]*report.Table, error) {
 		hp, err := checkpoint.NewHierarchical(checkpoint.Params{Interval: tau, Write: write},
 			ranks/8, logp)
 		if err != nil {
-			return nil, errf("E7", err)
+			return nil, err
 		}
 		injC, err := failure.NewInjector(failure.Config{
 			MTBF: mtbf, Restart: restart, ReplaySpeedup: 2, Kind: failure.RollbackCluster}, hp)
 		if err != nil {
-			return nil, errf("E7", err)
+			return nil, err
 		}
-		prog3, err := buildProg("stencil2d", ranks, iters, ms(1), 4096, o.Seed)
+		prog3, err := buildProg("stencil2d", ranks, iters, ms(1), 4096, sd)
 		if err != nil {
-			return nil, errf("E7", err)
+			return nil, err
 		}
-		rC, err := simulate(net, prog3, o.Seed, simtime.Time(300*simtime.Second),
+		rC, err := simulate(net, prog3, sd, simtime.Time(300*simtime.Second),
 			sim.Agent(hp), sim.Agent(injC))
 		if err != nil {
-			return nil, errf("E7", err)
+			return nil, err
 		}
-		t.AddRow(mtbf.String(), "hierarchical+cluster", tau.String(), len(injC.Events()),
+		rs.add(mtbf.String(), "hierarchical+cluster", tau.String(), len(injC.Events()),
 			simtime.Duration(rC.Makespan).String(), overheadPct(rC, rBase),
 			injC.TotalLost().String())
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddNote("same seed per row-pair: identical failure clocks, different victims/costs")
 	return []*report.Table{t}, nil

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"errors"
+
 	"checkpointsim/internal/checkpoint"
 	"checkpointsim/internal/failure"
 	"checkpointsim/internal/model"
@@ -14,6 +16,17 @@ import (
 // scales, and by the first-order analytic projection both there and at the
 // extreme scales the paper extrapolates to. The expected shape: coordinated
 // wins at small P and expensive logging; uncoordinated wins as P grows.
+//
+// One sweep point = one scale P; every β row within a scale shares the
+// point's RNG stream (common random numbers, as in E6). The coordinated run
+// does not depend on β, so it is simulated once per scale and paired against
+// each β's uncoordinated run under identical failure clocks — winner flips
+// along the β axis then come from logging cost, never from seed luck. That
+// pairing matters most at P=256, where the system MTBF (~16ms) puts the
+// coordinated protocol in a heavy-tailed rollback regime: a run that fails
+// to settle within the time cap is reported as a capped cell (the protocol
+// diverged at that scale) rather than aborting the sweep. The analytic
+// projection is closed-form and stays serial.
 func E8Crossover(o Options) ([]*report.Table, error) {
 	net := o.net()
 	scales := pick(o, []int{16, 64, 256}, []int{16, 64})
@@ -23,59 +36,86 @@ func E8Crossover(o Options) ([]*report.Table, error) {
 		write   = 2 * simtime.Millisecond
 		restart = 2 * simtime.Millisecond
 		mtbf    = 4 * simtime.Second // per node
+		capT    = simtime.Time(300 * simtime.Second)
 	)
 
 	t := report.NewTable("E8a: simulated crossover grid (stencil2d, δ=2ms, θ=4s/node)",
 		"P", "beta(ns/B)", "coord-makespan", "uncoord-makespan", "sim-winner")
-	for _, p := range scales {
+	err := sweep(t, o, "E8", scales, func(i int, p int) (rows, error) {
+		sd := pointSeed(o, "E8", i)
 		sys := mtbf.Seconds() / float64(p)
 		tau := simtime.FromSeconds(model.DalyInterval(write.Seconds(), sys))
-		for _, beta := range betas {
-			cp, err := checkpoint.NewCoordinated(checkpoint.Params{Interval: tau, Write: write})
-			if err != nil {
-				return nil, errf("E8", err)
-			}
-			injG, err := failure.NewInjector(failure.Config{
-				MTBF: mtbf, Restart: restart, Kind: failure.RollbackGlobal}, cp)
-			if err != nil {
-				return nil, errf("E8", err)
-			}
-			prog, err := buildProg("stencil2d", p, iters, ms(1), 4096, o.Seed)
-			if err != nil {
-				return nil, errf("E8", err)
-			}
-			rC, err := simulate(net, prog, o.Seed, simtime.Time(300*simtime.Second),
-				sim.Agent(cp), sim.Agent(injG))
-			if err != nil {
-				return nil, errf("E8", err)
-			}
 
+		// run simulates one protocol variant at this scale under the
+		// point's seed, treating a cap abort as a diverged (capped) run.
+		run := func(agents ...sim.Agent) (makespan simtime.Time, capped bool, err error) {
+			prog, err := buildProg("stencil2d", p, iters, ms(1), 4096, sd)
+			if err != nil {
+				return 0, false, err
+			}
+			r, err := simulate(net, prog, sd, capT, agents...)
+			if errors.Is(err, sim.ErrCapExceeded) {
+				return capT, true, nil
+			}
+			if err != nil {
+				return 0, false, err
+			}
+			return r.Makespan, false, nil
+		}
+		cellStr := func(mk simtime.Time, capped bool) string {
+			if capped {
+				return ">" + simtime.Duration(capT).String() + " (capped)"
+			}
+			return simtime.Duration(mk).String()
+		}
+
+		cp, err := checkpoint.NewCoordinated(checkpoint.Params{Interval: tau, Write: write})
+		if err != nil {
+			return nil, err
+		}
+		injG, err := failure.NewInjector(failure.Config{
+			MTBF: mtbf, Restart: restart, Kind: failure.RollbackGlobal}, cp)
+		if err != nil {
+			return nil, err
+		}
+		mkC, capC, err := run(sim.Agent(cp), sim.Agent(injG))
+		if err != nil {
+			return nil, err
+		}
+
+		var rs rows
+		for _, beta := range betas {
 			up, err := checkpoint.NewUncoordinated(checkpoint.Params{Interval: tau, Write: write},
 				checkpoint.Staggered, checkpoint.LogParams{BetaNsPerByte: beta})
 			if err != nil {
-				return nil, errf("E8", err)
+				return nil, err
 			}
 			injL, err := failure.NewInjector(failure.Config{
 				MTBF: mtbf, Restart: restart, ReplaySpeedup: 2, Kind: failure.ReplayLocal}, up)
 			if err != nil {
-				return nil, errf("E8", err)
+				return nil, err
 			}
-			prog2, err := buildProg("stencil2d", p, iters, ms(1), 4096, o.Seed)
+			mkU, capU, err := run(sim.Agent(up), sim.Agent(injL))
 			if err != nil {
-				return nil, errf("E8", err)
-			}
-			rU, err := simulate(net, prog2, o.Seed, simtime.Time(300*simtime.Second),
-				sim.Agent(up), sim.Agent(injL))
-			if err != nil {
-				return nil, errf("E8", err)
+				return nil, err
 			}
 			winner := "coordinated"
-			if rU.Makespan < rC.Makespan {
+			switch {
+			case capC && capU:
+				winner = "neither (capped)"
+			case capC:
+				winner = "uncoordinated"
+			case capU:
+				// keep coordinated
+			case mkU < mkC:
 				winner = "uncoordinated"
 			}
-			t.AddRow(p, beta, simtime.Duration(rC.Makespan).String(),
-				simtime.Duration(rU.Makespan).String(), winner)
+			rs.add(p, beta, cellStr(mkC, capC), cellStr(mkU, capU), winner)
 		}
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Analytic projection to extreme scale.

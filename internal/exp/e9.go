@@ -11,7 +11,7 @@ import (
 // write duty cycle (δ/τ = 20%), aligned offsets behave like coordination-
 // free gang checkpointing, while staggering trades that for a rolling
 // pattern whose delays communication-heavy workloads must absorb every
-// interval.
+// interval. One sweep point = one workload with all three policies.
 func E9Stagger(o Options) ([]*report.Table, error) {
 	net := o.net()
 	ranks := pick(o, 64, 16)
@@ -22,30 +22,36 @@ func E9Stagger(o Options) ([]*report.Table, error) {
 
 	t := report.NewTable("E9: uncoordinated offset policy ablation (δ/τ = 20%, no logging)",
 		"workload", "policy", "overhead%", "writes")
-	for _, w := range workloads {
-		base, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+	err := sweep(t, o, "E9", workloads, func(i int, w string) (rows, error) {
+		sd := pointSeed(o, "E9", i)
+		base, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
 		if err != nil {
-			return nil, errf("E9", err)
+			return nil, err
 		}
-		rBase, err := simulate(net, base, o.Seed, 0)
+		rBase, err := simulate(net, base, sd, 0)
 		if err != nil {
-			return nil, errf("E9", err)
+			return nil, err
 		}
+		var rs rows
 		for _, pol := range []checkpoint.OffsetPolicy{checkpoint.Aligned, checkpoint.Staggered, checkpoint.Random} {
 			up, err := checkpoint.NewUncoordinated(params, pol, checkpoint.LogParams{})
 			if err != nil {
-				return nil, errf("E9", err)
+				return nil, err
 			}
-			prog, err := buildProg(w, ranks, iters, ms(1), 4096, o.Seed)
+			prog, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
 			if err != nil {
-				return nil, errf("E9", err)
+				return nil, err
 			}
-			r, err := simulate(net, prog, o.Seed, 0, sim.Agent(up))
+			r, err := simulate(net, prog, sd, 0, sim.Agent(up))
 			if err != nil {
-				return nil, errf("E9", err)
+				return nil, err
 			}
-			t.AddRow(w, pol.String(), overheadPct(r, rBase), up.Stats().Writes)
+			rs.add(w, pol.String(), overheadPct(r, rBase), up.Stats().Writes)
 		}
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.AddNote("logging disabled to isolate the offset effect")
 	return []*report.Table{t}, nil

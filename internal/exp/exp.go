@@ -1,7 +1,14 @@
-// Package exp defines the reproduction experiments E1–E10: one function
+// Package exp defines the reproduction experiments E1–E16: one function
 // per table/figure of the study, each returning report tables that
 // cmd/sweep prints and bench_test.go exercises. DESIGN.md carries the
 // experiment index; EXPERIMENTS.md records measured outputs.
+//
+// Every experiment enumerates its sweep as a slice of independent points
+// fanned across Options.Jobs workers by internal/runner. A point derives
+// its RNG stream from the sweep seed, the experiment ID, and its own index
+// (pointSeed), and rows merge in submission order, so rendered tables are
+// bit-for-bit identical at any worker count — enforced by
+// determinism_test.go against committed golden files.
 package exp
 
 import (
@@ -10,6 +17,8 @@ import (
 	"checkpointsim/internal/goal"
 	"checkpointsim/internal/network"
 	"checkpointsim/internal/report"
+	"checkpointsim/internal/rng"
+	"checkpointsim/internal/runner"
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
 	"checkpointsim/internal/workload"
@@ -24,6 +33,12 @@ type Options struct {
 	// Quick shrinks sweeps (scales, iterations, replications) to keep
 	// benches and CI runs short; full runs reproduce the study scales.
 	Quick bool
+	// Jobs caps the worker pool an experiment fans its sweep points
+	// across; 0 (the default) uses runtime.GOMAXPROCS. Results are
+	// bit-for-bit identical for every value: each point derives its RNG
+	// stream from the sweep seed and its own index, never from worker
+	// identity or completion order.
+	Jobs int
 }
 
 // DefaultOptions returns the options the full reproduction uses.
@@ -112,6 +127,44 @@ func pick[T any](o Options, full, quick T) T {
 		return quick
 	}
 	return full
+}
+
+// row is one table row produced by a sweep point; cells feed Table.AddRow.
+type row []any
+
+// rows collects a point's output in the order it should appear.
+type rows []row
+
+// add appends a row built from cells.
+func (rs *rows) add(cells ...any) { *rs = append(*rs, row(cells)) }
+
+// sweep fans the points of one experiment across o.Jobs workers and merges
+// each point's rows into t in submission order, so the rendered table is
+// identical at any parallelism. fn must be self-contained: anything random
+// it does should key off pointSeed(o, id, i).
+func sweep[P any](t *report.Table, o Options, id string, points []P, fn func(i int, p P) (rows, error)) error {
+	out, err := runner.Map(o.Jobs, points, fn)
+	if err != nil {
+		return errf(id, err)
+	}
+	for _, rs := range out {
+		for _, r := range rs {
+			t.AddRow(r...)
+		}
+	}
+	return nil
+}
+
+// pointSeed derives the RNG seed for sweep point i of experiment id. Keying
+// by experiment and index decorrelates every point from its siblings and
+// from other experiments while keeping the whole sweep a pure function of
+// Options.Seed.
+func pointSeed(o Options, id string, i int) uint64 {
+	var h uint64 = 14695981039346656037 // FNV-1a 64-bit
+	for _, c := range []byte(id) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return rng.Derive(o.Seed, h, uint64(i))
 }
 
 // ms is a shorthand constructor.

@@ -49,6 +49,20 @@ func (r *Source) Split(label uint64) *Source {
 	return New(r.Uint64() ^ (label * 0x9e3779b97f4a7c15))
 }
 
+// Derive returns a seed for an independent stream keyed by root and the
+// label path, equivalent to chaining New(root).Split(l0).Split(l1)... and
+// drawing one value. Sweep harnesses use it to give each point of a
+// parallel sweep its own decorrelated stream that depends only on the
+// point's identity — never on which worker ran it or in what order — so
+// results are bit-for-bit reproducible at any parallelism.
+func Derive(root uint64, labels ...uint64) uint64 {
+	s := New(root)
+	for _, l := range labels {
+		s = s.Split(l)
+	}
+	return s.Uint64()
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

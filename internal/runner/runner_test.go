@@ -1,0 +1,133 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"checkpointsim/internal/rng"
+)
+
+func TestMapOrderAndValues(t *testing.T) {
+	points := []int{10, 20, 30, 40, 50}
+	for _, workers := range []int{1, 2, 8, 0, -3} {
+		got, err := Map(workers, points, func(i, p int) (int, error) {
+			return p + i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := []int{10, 21, 32, 43, 54}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, nil, func(i, p int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty points: got %v, %v", got, err)
+	}
+}
+
+func TestMapMoreWorkersThanPoints(t *testing.T) {
+	got, err := Map(64, []string{"a", "b"}, func(i int, p string) (string, error) {
+		return p + p, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "aa" || got[1] != "bb" {
+		t.Errorf("got %v", got)
+	}
+}
+
+// With a single worker, an error stops the sweep: later points never start.
+func TestSerialCancellation(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	_, err := Map(1, make([]struct{}, 10), func(i int, _ struct{}) (int, error) {
+		ran.Add(1)
+		if i == 2 {
+			return 0, fmt.Errorf("point %d: %w", i, boom)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Errorf("ran %d points, want 3 (0, 1, and the failing 2)", got)
+	}
+}
+
+// Even when several points fail on racing workers, the error reported is
+// the one with the lowest point index — a deterministic choice. Point 0 is
+// always executed (the first queue slot is handed out before any failure
+// can have been recorded), so its error always wins here.
+func TestFirstErrorWinsByIndex(t *testing.T) {
+	const workers = 4
+	_, err := Map(workers, make([]struct{}, 64), func(i int, _ struct{}) (int, error) {
+		if i < workers {
+			return 0, fmt.Errorf("boom %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom 0") {
+		t.Fatalf("err = %v, want the index-0 error", err)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	_, err := Map(2, []int{0, 1, 2}, func(i, p int) (int, error) {
+		if i == 1 {
+			panic("kaboom")
+		}
+		return p, nil
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced as error")
+	}
+	for _, want := range []string{"point 1", "kaboom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// Results must be independent of worker count even when every point does
+// real RNG work, as long as each point keys its stream off its index.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	const n = 40
+	run := func(workers int) []uint64 {
+		out, err := Map(workers, make([]struct{}, n), func(i int, _ struct{}) (uint64, error) {
+			r := rng.New(rng.Derive(42, uint64(i)))
+			var sum uint64
+			for k := 0; k < 1000; k++ {
+				sum += r.Uint64()
+			}
+			return sum, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		got := run(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: point %d diverged", workers, i)
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"checkpointsim/internal/goal"
 	"checkpointsim/internal/network"
 	"checkpointsim/internal/rng"
+	"checkpointsim/internal/runner"
 	"checkpointsim/internal/simtime"
 )
 
@@ -157,6 +158,57 @@ func TestFuzzInvariants(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
 	}
+}
+
+// FuzzParallelAgents is the native-fuzz arm of the determinism net: a
+// random program with chaos agents attached is run once serially and then
+// four more times concurrently under the parallel sweep runner. Every
+// replica must be bit-for-bit identical to the serial run — any hidden
+// shared state between engines (a package-level variable, an RNG touched
+// across goroutines) shows up here as a divergence or a -race report.
+//
+// Smoke-run the generator beyond the seed corpus with:
+//
+//	go test -fuzz=FuzzParallelAgents -fuzztime=10s ./internal/sim
+func FuzzParallelAgents(f *testing.F) {
+	// Corpus: small/large seeds, the sweep default, and values whose
+	// programs historically exercised rendezvous payloads and multi-agent
+	// interleavings under the runner.
+	for _, seed := range []uint64{0, 1, 7, 42, 1234, 99999, 1 << 32} {
+		f.Add(seed)
+	}
+	net := network.DefaultParams()
+	net.RendezvousThreshold = 64 * 1024
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		r := rng.New(seed)
+		prog := randomProgram(r)
+		runOnce := func() (*Result, error) {
+			eng, err := New(Config{Net: net, Program: prog,
+				Agents: []Agent{&chaosAgent{seed: seed + 1}},
+				Seed:   seed, MaxEvents: 50_000_000})
+			if err != nil {
+				return nil, err
+			}
+			return eng.Run()
+		}
+		serial, err := runOnce()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		replicas, err := runner.Map(4, make([]struct{}, 4),
+			func(int, struct{}) (*Result, error) { return runOnce() })
+		if err != nil {
+			t.Fatalf("seed %d: parallel replicas: %v", seed, err)
+		}
+		for i, rep := range replicas {
+			if rep.Makespan != serial.Makespan || rep.Events != serial.Events ||
+				rep.Metrics != serial.Metrics {
+				t.Errorf("seed %d: replica %d diverged from serial run "+
+					"(makespan %v vs %v, events %d vs %d)",
+					seed, i, rep.Makespan, serial.Makespan, rep.Events, serial.Events)
+			}
+		}
+	})
 }
 
 func TestFuzzWithFabric(t *testing.T) {

@@ -47,6 +47,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"checkpointsim/internal/eventq"
@@ -315,6 +316,12 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// ErrCapExceeded marks a run aborted by Config.MaxEvents or Config.MaxTime.
+// Callers that treat a capped run as data — a configuration that diverges
+// under its failure regime — rather than as a setup mistake can detect it
+// with errors.Is.
+var ErrCapExceeded = errors.New("cap exceeded")
+
 // Run executes the simulation to completion and returns its results. An
 // engine runs once; calling Run again returns an error.
 func (e *Engine) Run() (*Result, error) {
@@ -348,12 +355,12 @@ func (e *Engine) Run() (*Result, error) {
 		e.now = t
 		e.events++
 		if e.events > e.cfg.MaxEvents {
-			return nil, fmt.Errorf("sim: event cap %d exceeded at t=%v (%d ops left)",
-				e.cfg.MaxEvents, e.now, e.opsLeft)
+			return nil, fmt.Errorf("sim: event %w: %d at t=%v (%d ops left)",
+				ErrCapExceeded, e.cfg.MaxEvents, e.now, e.opsLeft)
 		}
 		if e.cfg.MaxTime > 0 && e.now > e.cfg.MaxTime {
-			return nil, fmt.Errorf("sim: time cap %v exceeded (%d ops left)",
-				e.cfg.MaxTime, e.opsLeft)
+			return nil, fmt.Errorf("sim: time %w: %v passed (%d ops left)",
+				ErrCapExceeded, e.cfg.MaxTime, e.opsLeft)
 		}
 		switch ev.kind {
 		case evJobDone:

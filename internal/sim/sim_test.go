@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -334,8 +335,12 @@ func TestEventCap(t *testing.T) {
 		s1.Recv(0, 0, 8)
 	}
 	e, _ := New(Config{Net: testNet(), Program: b.MustBuild(), MaxEvents: 10})
-	if _, err := e.Run(); err == nil || !strings.Contains(err.Error(), "event cap") {
+	_, err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "event cap") {
 		t.Errorf("want event cap error, got %v", err)
+	}
+	if !errors.Is(err, ErrCapExceeded) {
+		t.Errorf("event cap error should wrap ErrCapExceeded, got %v", err)
 	}
 }
 
@@ -345,8 +350,12 @@ func TestMaxTimeCap(t *testing.T) {
 	s.Calc(1000)
 	s.Calc(1000)
 	e, _ := New(Config{Net: testNet(), Program: b.MustBuild(), MaxTime: 500})
-	if _, err := e.Run(); err == nil || !strings.Contains(err.Error(), "time cap") {
+	_, err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "time cap") {
 		t.Errorf("want time cap error, got %v", err)
+	}
+	if !errors.Is(err, ErrCapExceeded) {
+		t.Errorf("time cap error should wrap ErrCapExceeded, got %v", err)
 	}
 }
 
