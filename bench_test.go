@@ -54,6 +54,7 @@ func BenchmarkE13Straggler(b *testing.B)    { benchExperiment(b, "E13") }
 func BenchmarkE14Fabric(b *testing.B)       { benchExperiment(b, "E14") }
 func BenchmarkE15Resonance(b *testing.B)    { benchExperiment(b, "E15") }
 func BenchmarkE16TwoLevel(b *testing.B)     { benchExperiment(b, "E16") }
+func BenchmarkE17Contention(b *testing.B)   { benchExperiment(b, "E17") }
 
 // Serial counterparts for the heaviest sweeps: benchstat these against the
 // parallel versions above to measure the worker-pool speedup on your box

@@ -38,6 +38,7 @@ import (
 	"checkpointsim/internal/noise"
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/storage"
 	"checkpointsim/internal/workload"
 )
 
@@ -95,6 +96,16 @@ type (
 	IncrementalParams = checkpoint.IncrementalParams
 	// TwoLevelParams configure multilevel (SCR/FTI-class) checkpointing.
 	TwoLevelParams = checkpoint.TwoLevelParams
+	// StorageParams configure the shared-storage model: aggregate parallel
+	// filesystem bandwidth, a per-writer cap, and per-node burst-buffer
+	// bandwidth. The zero value means no storage modelling (legacy
+	// fixed-duration writes).
+	StorageParams = storage.Params
+	// Store arbitrates concurrent checkpoint writers with fair-share
+	// semantics; protocols reference one through CheckpointParams.Store.
+	Store = storage.Store
+	// StorageTier selects which tier of a Store a write drains through.
+	StorageTier = storage.Tier
 	// TraceEvent is one CPU-occupancy record (see SimConfig.Trace).
 	TraceEvent = sim.TraceEvent
 	// RecoveryKind selects the failure-recovery discipline.
@@ -116,9 +127,25 @@ const (
 	RecoverTwoLevel = failure.RecoverTwoLevel
 )
 
+// Storage tiers for StorageTier fields.
+const (
+	// TierGlobal is the shared parallel filesystem (the default tier).
+	TierGlobal = storage.TierGlobal
+	// TierNode is the node-local burst buffer, shared by co-located ranks.
+	TierNode = storage.TierNode
+)
+
 // DefaultNetwork returns the InfiniBand-class LogGOPS parameters used
 // throughout the experiments.
 func DefaultNetwork() NetworkParams { return network.DefaultParams() }
+
+// NewStore builds a shared-storage arbiter from the given parameters. A
+// store serves exactly one simulation: build a fresh one per Engine.
+func NewStore(p StorageParams) (*Store, error) { return storage.New(p) }
+
+// UnlimitedStore returns a store with no bandwidth constraints — writes
+// through it are byte-identical to the legacy fixed-duration path.
+func UnlimitedStore() *Store { return storage.Unlimited() }
 
 // NewCoordinated builds the globally coordinated protocol.
 func NewCoordinated(p CheckpointParams) (Protocol, error) {
@@ -220,14 +247,21 @@ type ProtocolConfig struct {
 	// CkptBytes is the image size shipped by the partner protocol
 	// (ProtoPartner); Write is reused as its serialize time.
 	CkptBytes int64
+	// Bytes is the checkpoint image size drained through the shared store
+	// (RunConfig.Storage); zero derives it from Write at the store's
+	// lone-writer rate, so uncontended writes keep the legacy duration.
+	Bytes int64
 	// TwoLevel configures ProtoTwoLevel (Interval/Write above are ignored
 	// for that kind).
 	TwoLevel TwoLevelParams
 }
 
-// build constructs the configured protocol.
-func (pc ProtocolConfig) build() (checkpoint.Protocol, error) {
-	params := checkpoint.Params{Interval: pc.Interval, Write: pc.Write}
+// build constructs the configured protocol, routing writes through st when
+// one is configured. Globally-writing protocols drain the global tier; the
+// partner serialize step and the two-level local level use the node tier.
+func (pc ProtocolConfig) build(st *storage.Store) (checkpoint.Protocol, error) {
+	params := checkpoint.Params{Interval: pc.Interval, Write: pc.Write,
+		Bytes: pc.Bytes, Store: st}
 	switch pc.Kind {
 	case "", ProtoNone:
 		return checkpoint.None{}, nil
@@ -252,7 +286,11 @@ func (pc ProtocolConfig) build() (checkpoint.Protocol, error) {
 		return checkpoint.NewNonBlockingCoordinated(checkpoint.NonBlockingParams{
 			Params: params, Window: pc.Window, Slowdown: pc.Slowdown})
 	case ProtoTwoLevel:
-		return checkpoint.NewTwoLevel(pc.TwoLevel)
+		tl := pc.TwoLevel
+		if tl.Store == nil {
+			tl.Store = st
+		}
+		return checkpoint.NewTwoLevel(tl)
 	case ProtoPartner:
 		off := checkpoint.Staggered
 		if pc.Offset != "" {
@@ -267,6 +305,7 @@ func (pc ProtocolConfig) build() (checkpoint.Protocol, error) {
 			SerializeTime: pc.Write,
 			CkptBytes:     pc.CkptBytes,
 			Offsets:       off,
+			Store:         st,
 		})
 	}
 	return nil, fmt.Errorf("checkpointsim: unknown protocol kind %q", pc.Kind)
@@ -288,6 +327,11 @@ type RunConfig struct {
 	MsgBytes int64
 	// Net is the LogGOPS parameter set (zero value = DefaultNetwork()).
 	Net NetworkParams
+	// Storage, when non-zero, models the checkpoint storage system: the
+	// protocol's writes drain through a fair-share store built from these
+	// parameters instead of taking fixed durations. An unconstrained
+	// parameter set reproduces the legacy results byte-identically.
+	Storage StorageParams
 	// Protocol selects and configures checkpointing.
 	Protocol ProtocolConfig
 	// Noise, if non-nil, injects OS noise.
@@ -311,6 +355,9 @@ type RunResult struct {
 	*Result
 	// Protocol is the protocol instance, exposing Stats and recovery lines.
 	Protocol Protocol
+	// Store is the shared-storage arbiter of the run (nil unless
+	// RunConfig.Storage was set), exposing drain statistics.
+	Store *Store
 	// FailureEvents holds the injected failures (nil without Failures).
 	FailureEvents []failure.Event
 }
@@ -341,7 +388,14 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	proto, err := cfg.Protocol.build()
+	var st *storage.Store
+	if (cfg.Storage != StorageParams{}) {
+		st, err = storage.New(cfg.Storage)
+		if err != nil {
+			return nil, err
+		}
+	}
+	proto, err := cfg.Protocol.build(st)
 	if err != nil {
 		return nil, err
 	}
@@ -376,7 +430,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &RunResult{Result: res, Protocol: proto}
+	out := &RunResult{Result: res, Protocol: proto, Store: st}
 	if finj != nil {
 		out.FailureEvents = finj.Events()
 	}

@@ -69,6 +69,11 @@ func run(args []string, out io.Writer) error {
 		maxTime      = fs.String("max-time", "0", "abort after this much virtual time (0 = unlimited)")
 		netPreset    = fs.String("net", "default", "network preset: default|capability|ethernet")
 		bisection    = fs.Float64("bisection", 0, "bisection bandwidth in GB/s (0 = unconstrained)")
+		storeAgg     = fs.Float64("store-agg", 0, "aggregate PFS bandwidth in GB/s (0 = unconstrained)")
+		storeWriter  = fs.Float64("store-writer", 0, "per-writer PFS bandwidth cap in GB/s (0 = uncapped)")
+		storeNode    = fs.Float64("store-node", 0, "node-local burst-buffer bandwidth in GB/s (0 = unconstrained)")
+		ranksPerNode = fs.Int("ranks-per-node", 0, "ranks per node for the node storage tier (0 = 1)")
+		imageBytes   = fs.Int64("image-bytes", 0, "checkpoint image size drained through the store (0 = derive from -write)")
 		timelineCSV  = fs.String("timeline", "", "write a per-job CPU timeline CSV to this file")
 		gantt        = fs.Bool("gantt", false, "print an ASCII Gantt chart and utilization summary")
 		ganttWidth   = fs.Int("gantt-width", 100, "Gantt chart width in columns")
@@ -132,10 +137,19 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("negative bisection bandwidth")
 	}
 	netParams.BisectionBytesPerSec = *bisection * 1e9
+	if *storeAgg < 0 || *storeWriter < 0 || *storeNode < 0 {
+		return fmt.Errorf("negative storage bandwidth")
+	}
 
 	cfg := checkpointsim.RunConfig{
-		Workload:   *workloadName,
-		Net:        netParams,
+		Workload: *workloadName,
+		Net:      netParams,
+		Storage: checkpointsim.StorageParams{
+			AggregateBytesPerSec: *storeAgg * 1e9,
+			PerWriterBytesPerSec: *storeWriter * 1e9,
+			NodeBytesPerSec:      *storeNode * 1e9,
+			RanksPerNode:         *ranksPerNode,
+		},
 		Ranks:      *ranks,
 		Iterations: *iters,
 		Compute:    comp,
@@ -151,6 +165,7 @@ func run(args []string, out io.Writer) error {
 			Window:      win,
 			Slowdown:    *slowdown,
 			CkptBytes:   *ckptBytes,
+			Bytes:       *imageBytes,
 			TwoLevel: checkpointsim.TwoLevelParams{
 				LocalInterval:  liv,
 				LocalWrite:     lwr,
@@ -225,6 +240,11 @@ func run(args []string, out io.Writer) error {
 				st.RoundSpan/simtime.Duration(st.Rounds))
 		}
 		fmt.Fprintln(out)
+	}
+	if s := res.Store; s != nil {
+		ss := s.Stats()
+		fmt.Fprintf(out, "storage:   %s — %d writes, %.1f MiB drained, peak %d writers, wait %v\n",
+			s.Params(), ss.Writes, float64(ss.Bytes)/(1<<20), ss.PeakWriters, ss.WaitTime)
 	}
 	if st.LoggedMessages > 0 {
 		fmt.Fprintf(out, "logging:   %d messages, %.1f MiB, %v CPU\n",

@@ -100,6 +100,38 @@ func TestBadFlagValues(t *testing.T) {
 	}
 }
 
+// The storage flags route the protocol's writes through the shared store:
+// aligned uncoordinated writers through a tight pipe must report storage
+// stats with contention (wait time), and bad bandwidths must be rejected.
+func TestStorageFlags(t *testing.T) {
+	out := capture(t, "-workload", "ep", "-ranks", "8", "-iters", "40",
+		"-protocol", "uncoordinated", "-offset", "aligned",
+		"-interval", "5ms", "-write", "1ms",
+		"-store-agg", "1", "-image-bytes", "1000000")
+	if !strings.Contains(out, "storage:") {
+		t.Errorf("no storage stats line:\n%s", out)
+	}
+	if !strings.Contains(out, "peak") {
+		t.Errorf("storage line missing peak writers:\n%s", out)
+	}
+	// Unconstrained run: no storage flags -> no storage line.
+	out = capture(t, "-workload", "ep", "-ranks", "4", "-iters", "5",
+		"-protocol", "coordinated", "-interval", "5ms", "-write", "500us")
+	if strings.Contains(out, "storage:") {
+		t.Errorf("storage line printed without storage flags:\n%s", out)
+	}
+	var sb strings.Builder
+	for _, c := range [][]string{
+		{"-store-agg", "-1"},
+		{"-store-writer", "-1"},
+		{"-store-node", "-1"},
+	} {
+		if err := run(c, &sb); err == nil {
+			t.Errorf("args %v accepted", c)
+		}
+	}
+}
+
 func TestGanttOutput(t *testing.T) {
 	out := capture(t, "-workload", "stencil2d", "-ranks", "4", "-iters", "10",
 		"-protocol", "coordinated", "-interval", "5ms", "-write", "1ms",

@@ -1,4 +1,4 @@
-// Command sweep regenerates the reproduction experiments (E1–E16, see
+// Command sweep regenerates the reproduction experiments (E1–E17, see
 // DESIGN.md §4) and prints their tables.
 //
 // Usage:
@@ -27,6 +27,7 @@ import (
 
 	"checkpointsim/internal/exp"
 	"checkpointsim/internal/network"
+	"checkpointsim/internal/storage"
 )
 
 func main() {
@@ -46,14 +47,19 @@ func run(args []string, out io.Writer) error {
 		csvDir  = fs.String("csv", "", "also write each table as CSV into this directory")
 		netPre  = fs.String("net", "default", "network preset: default|capability|ethernet")
 		timings = fs.Bool("timings", true, "print per-experiment wall-clock lines")
-		list    = fs.Bool("list", false, "list experiments and exit")
+		list    = fs.Bool("list", false, "list experiments (id, title, bench, description) and exit")
+
+		storeAgg     = fs.Float64("store-agg", 0, "aggregate PFS bandwidth in GB/s (0 = unconstrained)")
+		storeWriter  = fs.Float64("store-writer", 0, "per-writer PFS bandwidth cap in GB/s (0 = uncapped)")
+		storeNode    = fs.Float64("store-node", 0, "node-local burst-buffer bandwidth in GB/s (0 = unconstrained)")
+		ranksPerNode = fs.Int("ranks-per-node", 0, "ranks per node for the node storage tier (0 = 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		for _, e := range exp.All() {
-			fmt.Fprintf(out, "%-4s %-28s %s\n", e.ID, e.Title, e.Desc)
+			fmt.Fprintf(out, "%-4s %-28s %-26s %s\n", e.ID, e.Title, e.Bench, e.Desc)
 		}
 		return nil
 	}
@@ -65,6 +71,15 @@ func run(args []string, out io.Writer) error {
 	o.Quick = *quick
 	o.Seed = *seed
 	o.Jobs = *jobs
+	if *storeAgg < 0 || *storeWriter < 0 || *storeNode < 0 {
+		return fmt.Errorf("negative storage bandwidth")
+	}
+	o.Storage = storage.Params{
+		AggregateBytesPerSec: *storeAgg * 1e9,
+		PerWriterBytesPerSec: *storeWriter * 1e9,
+		NodeBytesPerSec:      *storeNode * 1e9,
+		RanksPerNode:         *ranksPerNode,
+	}
 	switch *netPre {
 	case "default":
 		o.Net = network.DefaultParams()
@@ -96,6 +111,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "network: %s\n", o.Net)
+	if o.Storage != (storage.Params{}) {
+		fmt.Fprintf(out, "storage: %s\n", o.Storage)
+	}
 	mode := "full"
 	if o.Quick {
 		mode = "quick"

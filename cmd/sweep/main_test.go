@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"checkpointsim/internal/exp"
 )
 
 func TestListExperiments(t *testing.T) {
@@ -13,9 +15,40 @@ func TestListExperiments(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, id := range []string{"E1", "E8", "E15"} {
+	for _, id := range []string{"E1", "E8", "E15", "E17"} {
 		if !strings.Contains(out, id+" ") {
 			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+	// Every row carries the experiment's bench target and description.
+	for _, e := range exp.All() {
+		if !strings.Contains(out, e.Bench) {
+			t.Errorf("list missing bench name %s:\n%s", e.Bench, out)
+		}
+		if !strings.Contains(out, e.Desc) {
+			t.Errorf("list missing description for %s:\n%s", e.ID, out)
+		}
+	}
+}
+
+// The storage flags feed Options.Storage: E17 run with an explicit writer
+// cap must still work, and invalid bandwidths must be rejected.
+func TestStorageFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "E1", "-quick", "-store-agg", "8",
+		"-store-writer", "1", "-timings=false"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "storage: ") {
+		t.Errorf("storage line not printed:\n%s", sb.String())
+	}
+	for _, c := range [][]string{
+		{"-exp", "E1", "-quick", "-store-agg", "-1"},
+		{"-exp", "E1", "-quick", "-store-writer", "-2"},
+		{"-exp", "E1", "-quick", "-store-node", "-3"},
+	} {
+		if err := run(c, &sb); err == nil {
+			t.Errorf("args %v accepted", c)
 		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/storage"
 )
 
 // Reason keys used for engine-side accounting (Result.SeizedTime etc.).
@@ -35,6 +36,9 @@ const (
 	ReasonWrite = "checkpoint"
 	// ReasonCoord accounts application-gate time during coordination.
 	ReasonCoord = "coordination"
+	// ReasonIOWait accounts the contention-induced excess of a shared-storage
+	// checkpoint write over its lone-writer duration (see internal/storage).
+	ReasonIOWait = "io-wait"
 )
 
 // Params holds the knobs shared by all protocols.
@@ -43,10 +47,25 @@ type Params struct {
 	// protocols it is the time between round starts; rounds never overlap.
 	Interval simtime.Duration
 	// Write is the time to write one rank's checkpoint (δ), modeled as an
-	// exclusive CPU seizure.
+	// exclusive CPU seizure. With a bandwidth-limited Store this is the
+	// *contention-free* write time: the image size defaults to the bytes a
+	// lone writer moves in Write, and contention stretches the actual
+	// occupancy beyond it.
 	Write simtime.Duration
 	// CtlBytes is the size of coordination control messages (default 64).
 	CtlBytes int64
+	// Bytes is the checkpoint image size written through the Store. Zero
+	// derives it from Write at the target tier's lone-writer rate, so
+	// uncontended store writes keep the legacy duration. Ignored without a
+	// bandwidth-limited Store.
+	Bytes int64
+	// Store, when non-nil and bandwidth-limited on Tier, arbitrates
+	// checkpoint writes against every other concurrent writer (fair-share);
+	// nil or unlimited reproduces the legacy fixed-duration path
+	// byte-identically.
+	Store *storage.Store
+	// Tier selects the storage tier writes target (default TierGlobal).
+	Tier storage.Tier
 }
 
 // Validate checks the parameter set.
@@ -60,7 +79,39 @@ func (p Params) Validate() error {
 	if p.CtlBytes < 0 {
 		return fmt.Errorf("checkpoint: negative control size %d", p.CtlBytes)
 	}
+	if p.Bytes < 0 {
+		return fmt.Errorf("checkpoint: negative checkpoint size %d", p.Bytes)
+	}
 	return nil
+}
+
+// storeWrite performs one rank's checkpoint write, routed through the shared
+// storage model when one is configured. Without a store — or when the target
+// tier is unconstrained — it issues the exact legacy fixed-duration seizure,
+// so pre-storage results reproduce byte-identically. With a bandwidth-limited
+// tier, the rank's CPU is seized open-endedly while the image drains under
+// fair-share arbitration: the lone-writer portion of the occupancy is
+// accounted as ReasonWrite, the contention-induced excess as ReasonIOWait.
+func storeWrite(ctx *sim.Context, st *storage.Store, tier storage.Tier, rank int,
+	fixed simtime.Duration, bytes int64, done func(end simtime.Time)) {
+	if st == nil || !st.TierLimited(tier) {
+		ctx.SeizeCPU(rank, fixed, ReasonWrite, done)
+		return
+	}
+	st.Bind(ctx)
+	b := bytes
+	if b <= 0 {
+		b = st.BytesFor(tier, fixed)
+	}
+	ctx.SeizeCPUDynamic(rank, st.LoneDuration(tier, b), ReasonWrite, ReasonIOWait,
+		func(start simtime.Time, release func()) {
+			st.Begin(rank, tier, b, func(simtime.Time) { release() })
+		}, done)
+}
+
+// write routes one checkpoint write through p's store configuration.
+func (p Params) write(ctx *sim.Context, rank int, done func(end simtime.Time)) {
+	storeWrite(ctx, p.Store, p.Tier, rank, p.Write, p.Bytes, done)
 }
 
 func (p Params) ctlBytes() int64 {

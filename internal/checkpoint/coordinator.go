@@ -130,7 +130,7 @@ func (c *coordinator) handleCommit(i int) {
 		c.ctx.SendControl(rank, c.members[j], c.p.ctlBytes(),
 			func(simtime.Time) { c.handleCommit(j) })
 	}
-	c.ctx.SeizeCPU(rank, c.p.Write, ReasonWrite, func(end simtime.Time) {
+	c.p.write(c.ctx, rank, func(end simtime.Time) {
 		c.stats.Writes++
 		c.pendingBusy[i] = c.ctx.RankBusy(rank)
 		c.release[i]()

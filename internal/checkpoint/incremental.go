@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"fmt"
+	"math"
 
 	"checkpointsim/internal/simtime"
 )
@@ -60,4 +61,17 @@ func (u *Uncoordinated) writeDuration(n int64) simtime.Duration {
 		return u.p.Write
 	}
 	return u.p.Write.Scale(u.inc.Fraction)
+}
+
+// writeBytes returns the image size of rank's n-th write (1-based), scaled
+// by the incremental fraction exactly as writeDuration scales the duration.
+// Zero lets storeWrite derive bytes from the duration.
+func (u *Uncoordinated) writeBytes(n int64) int64 {
+	if u.p.Bytes <= 0 || u.inc.FullEvery <= 1 || u.inc.Fraction == 0 {
+		return u.p.Bytes
+	}
+	if n%int64(u.inc.FullEvery) == 0 {
+		return u.p.Bytes
+	}
+	return int64(math.Round(float64(u.p.Bytes) * u.inc.Fraction))
 }

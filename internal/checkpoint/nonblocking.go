@@ -112,12 +112,36 @@ func (n *NonBlockingCoordinated) trigger(i int) {
 	if n.p.Slowdown > 1 {
 		restore = n.ctx.ScaleCPU(i, n.p.Slowdown)
 	}
-	n.ctx.After(n.p.Window, func() {
+	finish := func() {
 		restore()
 		n.stats.Writes++
 		n.pendingBusy[i] = n.ctx.RankBusy(i)
 		n.done(i)
-	})
+	}
+	st := n.p.Store
+	if st == nil || !st.TierLimited(n.p.Tier) {
+		n.ctx.After(n.p.Window, finish)
+		return
+	}
+	// Bandwidth-limited store: the background writer drains the same bytes a
+	// blocking write would move in Params.Write, concurrently with every
+	// other writer in the machine. The write (and its interference window)
+	// ends when both the nominal window has elapsed and the drain completes —
+	// contention stretches the window, it never shrinks it.
+	st.Bind(n.ctx)
+	b := n.p.Bytes
+	if b <= 0 {
+		b = st.BytesFor(n.p.Tier, n.p.Write)
+	}
+	pending := 2
+	arrive := func() {
+		pending--
+		if pending == 0 {
+			finish()
+		}
+	}
+	st.Begin(i, n.p.Tier, b, func(simtime.Time) { arrive() })
+	n.ctx.After(n.p.Window, arrive)
 }
 
 func (n *NonBlockingCoordinated) done(i int) {

@@ -5,6 +5,7 @@ import (
 
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/storage"
 )
 
 // PartnerParams configure diskless partner (buddy) checkpointing.
@@ -24,6 +25,12 @@ type PartnerParams struct {
 	Stride int
 	// Offsets selects the timer policy, as for Uncoordinated.
 	Offsets OffsetPolicy
+	// Store, when non-nil and limited on the node tier, arbitrates the
+	// serialize step against co-located writers: the snapshot streams through
+	// the node-local burst buffer at its fair share of the node bandwidth.
+	// Nil (or an unconstrained node tier) keeps the legacy fixed
+	// SerializeTime seizure.
+	Store *storage.Store
 }
 
 // Validate checks the parameter set.
@@ -113,19 +120,20 @@ func (pt *Partner) Init(ctx *sim.Context) {
 func (pt *Partner) fire(rank int) {
 	fired := pt.ctx.Now()
 	buddy := pt.partner(rank)
-	pt.ctx.SeizeCPU(rank, pt.p.SerializeTime, ReasonWrite, func(end simtime.Time) {
-		progress := pt.ctx.RankBusy(rank)
-		if buddy == rank {
-			// Degenerate single-rank case: the local copy is the line.
-			pt.commit(rank, end, progress, fired)
-			return
-		}
-		pt.ctx.SendControl(rank, buddy, pt.p.CkptBytes, func(at simtime.Time) {
-			pt.shipped += pt.p.CkptBytes
-			pt.transfers++
-			pt.commit(rank, at, progress, fired)
+	storeWrite(pt.ctx, pt.p.Store, storage.TierNode, rank, pt.p.SerializeTime, pt.p.CkptBytes,
+		func(end simtime.Time) {
+			progress := pt.ctx.RankBusy(rank)
+			if buddy == rank {
+				// Degenerate single-rank case: the local copy is the line.
+				pt.commit(rank, end, progress, fired)
+				return
+			}
+			pt.ctx.SendControl(rank, buddy, pt.p.CkptBytes, func(at simtime.Time) {
+				pt.shipped += pt.p.CkptBytes
+				pt.transfers++
+				pt.commit(rank, at, progress, fired)
+			})
 		})
-	})
 }
 
 // commit finalizes one checkpoint and arms the next timer.

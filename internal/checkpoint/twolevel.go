@@ -5,6 +5,7 @@ import (
 
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/storage"
 )
 
 // TwoLevelParams configure the multilevel (SCR/FTI-class) protocol.
@@ -22,6 +23,16 @@ type TwoLevelParams struct {
 	GlobalWrite    simtime.Duration
 	// CtlBytes sizes the coordination control messages (default 64).
 	CtlBytes int64
+	// Store, when non-nil, routes both levels through the shared-storage
+	// model: local writes drain through the node-local burst buffer
+	// (TierNode), global rounds through the parallel filesystem
+	// (TierGlobal). Nil — or an unconstrained tier — keeps the legacy fixed
+	// durations for that level.
+	Store *storage.Store
+	// LocalBytes and GlobalBytes size the per-level images; zero derives
+	// each from the level's write duration at the tier's lone-writer rate.
+	LocalBytes  int64
+	GlobalBytes int64
 }
 
 // Validate checks the parameter set.
@@ -38,6 +49,9 @@ func (p TwoLevelParams) Validate() error {
 	}
 	if p.CtlBytes < 0 {
 		return fmt.Errorf("checkpoint: negative control size")
+	}
+	if p.LocalBytes < 0 || p.GlobalBytes < 0 {
+		return fmt.Errorf("checkpoint: negative checkpoint size")
 	}
 	return nil
 }
@@ -94,7 +108,8 @@ func (tl *TwoLevel) Init(ctx *sim.Context) {
 	for i := range members {
 		members[i] = i
 	}
-	gp := Params{Interval: tl.p.GlobalInterval, Write: tl.p.GlobalWrite, CtlBytes: tl.p.CtlBytes}
+	gp := Params{Interval: tl.p.GlobalInterval, Write: tl.p.GlobalWrite, CtlBytes: tl.p.CtlBytes,
+		Store: tl.p.Store, Tier: storage.TierGlobal, Bytes: tl.p.GlobalBytes}
 	tl.coord = newCoordinator(ctx, gp, members, &tl.stats, nil,
 		func(tick, end simtime.Time) {
 			tl.globalLast = end
@@ -106,14 +121,15 @@ func (tl *TwoLevel) Init(ctx *sim.Context) {
 
 func (tl *TwoLevel) fireLocal(rank int) {
 	fired := tl.ctx.Now()
-	tl.ctx.SeizeCPU(rank, tl.p.LocalWrite, ReasonWrite, func(end simtime.Time) {
-		tl.stats.Writes++
-		tl.localWrites++
-		tl.localLast[rank] = end
-		tl.localBusyAt[rank] = tl.ctx.RankBusy(rank)
-		next := simtime.Max(fired.Add(tl.p.LocalInterval), end)
-		tl.ctx.At(next, func() { tl.fireLocal(rank) })
-	})
+	storeWrite(tl.ctx, tl.p.Store, storage.TierNode, rank, tl.p.LocalWrite, tl.p.LocalBytes,
+		func(end simtime.Time) {
+			tl.stats.Writes++
+			tl.localWrites++
+			tl.localLast[rank] = end
+			tl.localBusyAt[rank] = tl.ctx.RankBusy(rank)
+			next := simtime.Max(fired.Add(tl.p.LocalInterval), end)
+			tl.ctx.At(next, func() { tl.fireLocal(rank) })
+		})
 }
 
 // Name implements Protocol.

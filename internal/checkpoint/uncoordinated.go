@@ -135,7 +135,8 @@ func (u *Uncoordinated) Init(ctx *sim.Context) {
 func (u *Uncoordinated) fire(rank int) {
 	fired := u.ctx.Now()
 	u.nwrites[rank]++
-	u.ctx.SeizeCPU(rank, u.writeDuration(u.nwrites[rank]), ReasonWrite, func(end simtime.Time) {
+	n := u.nwrites[rank]
+	storeWrite(u.ctx, u.p.Store, u.p.Tier, rank, u.writeDuration(n), u.writeBytes(n), func(end simtime.Time) {
 		u.stats.Writes++
 		u.last[rank] = end
 		u.busyAt[rank] = u.ctx.RankBusy(rank)

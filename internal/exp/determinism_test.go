@@ -15,14 +15,20 @@ var update = flag.Bool("update", false, "rewrite golden files under testdata/")
 // everything cmd/sweep prints for it except the wall-clock line.
 func renderAll(t *testing.T, id string, jobs int) string {
 	t.Helper()
-	e, ok := ByID(id)
-	if !ok {
-		t.Fatalf("unknown experiment %s", id)
-	}
 	o := DefaultOptions()
 	o.Quick = true
 	o.Seed = 42
 	o.Jobs = jobs
+	return renderOpts(t, id, o)
+}
+
+// renderOpts is renderAll with the full option set exposed.
+func renderOpts(t *testing.T, id string, o Options) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
 	tables, err := e.Run(o)
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
@@ -38,12 +44,14 @@ func renderAll(t *testing.T, id string, jobs int) string {
 // Worker count and scheduling must never leak into results: the rendered
 // tables are byte-identical serially, at -j 8, and across repeated
 // parallel runs. E2, E4, and E8 cover the three point shapes (per-workload
-// baseline groups, (workload, scale) cells, and paired failure runs).
+// baseline groups, (workload, scale) cells, and paired failure runs); E17
+// adds the store-routed grid, whose fair-share arbitration must be equally
+// scheduling-blind.
 func TestParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs quick experiments")
 	}
-	for _, id := range []string{"E2", "E4", "E8"} {
+	for _, id := range []string{"E2", "E4", "E8", "E17"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
@@ -67,7 +75,7 @@ func TestGoldenQuickSeed42(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs quick experiments")
 	}
-	for _, id := range []string{"E2", "E4", "E8"} {
+	for _, id := range []string{"E2", "E4", "E8", "E17"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

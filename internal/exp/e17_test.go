@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"testing"
+
+	"checkpointsim/internal/simtime"
+)
+
+// TestE17ContentionCrossover pins the shape the contention map exists to
+// show: with unlimited storage the coordinated and staggered-uncoordinated
+// protocols differ only by the (small) intrinsic coordination cost, while at
+// finite aggregate bandwidth the coordinated protocol's simultaneous writes
+// split the pipe P ways and its overhead pulls far above the staggered
+// schedule at the largest scale.
+func TestE17ContentionCrossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick E17 grid")
+	}
+	o := DefaultOptions()
+	o.Quick = true
+	groups, err := e17Grid(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cells := make(map[[2]interface{}]map[string]e17Cell)
+	maxP, minAgg := 0, 0.0
+	for _, g := range groups {
+		for _, c := range g {
+			key := [2]interface{}{c.P, c.Agg}
+			if cells[key] == nil {
+				cells[key] = make(map[string]e17Cell)
+			}
+			cells[key][c.Protocol] = c
+			if c.P > maxP {
+				maxP = c.P
+			}
+			if c.Agg > 0 && (minAgg == 0 || c.Agg < minAgg) {
+				minAgg = c.Agg
+			}
+		}
+	}
+	if maxP == 0 || minAgg == 0 {
+		t.Fatalf("grid missing scales or finite bandwidths: %v", cells)
+	}
+	unlimited := cells[[2]interface{}{maxP, 0.0}]
+	finite := cells[[2]interface{}{maxP, minAgg}]
+	if unlimited == nil || finite == nil {
+		t.Fatalf("grid missing the largest-P cells (P=%d)", maxP)
+	}
+
+	coordU, stagU := unlimited["coordinated"], unlimited["uncoord-staggered"]
+	coordF, stagF := finite["coordinated"], finite["uncoord-staggered"]
+
+	// The crossover proper: staggered strictly below coordinated at the
+	// largest P once aggregate bandwidth is finite.
+	if stagF.Overhead >= coordF.Overhead {
+		t.Errorf("P=%d agg=%.0g: staggered overhead %.2f%% not strictly below coordinated %.2f%%",
+			maxP, minAgg, stagF.Overhead, coordF.Overhead)
+	}
+
+	// Under the Unlimited store the gap is the intrinsic coordination cost
+	// only — small in absolute terms and small next to the contention-driven
+	// gap at finite bandwidth.
+	gapU := coordU.Overhead - stagU.Overhead
+	if gapU < 0 {
+		gapU = -gapU
+	}
+	gapF := coordF.Overhead - stagF.Overhead
+	if gapU > 10 {
+		t.Errorf("unlimited-store gap %.2f points at P=%d — protocols not within noise", gapU, maxP)
+	}
+	if gapF < 3*gapU {
+		t.Errorf("finite-bandwidth gap %.2f points not clearly above the unlimited gap %.2f — contention does not dominate",
+			gapF, gapU)
+	}
+
+	// The attribution must be visible in the io-wait accounting: coordinated
+	// writers stall hard under contention, staggered writers barely at all.
+	if coordF.IOWait < 10*simtime.Millisecond {
+		t.Errorf("coordinated io-wait %v at P=%d agg=%.0g — no contention signal", coordF.IOWait, maxP, minAgg)
+	}
+	if stagF.IOWait >= coordF.IOWait/10 {
+		t.Errorf("staggered io-wait %v not well below coordinated %v", stagF.IOWait, coordF.IOWait)
+	}
+	if coordU.IOWait > simtime.Microsecond {
+		t.Errorf("unlimited store accumulated io-wait %v on the coordinated run", coordU.IOWait)
+	}
+}

@@ -13,6 +13,9 @@ import (
 // allreduce-dominated code. One sweep point = one (workload, scale) cell:
 // its baseline and the four protocol runs share the point's RNG stream.
 func E4WeakScaling(o Options) ([]*report.Table, error) {
+	if err := o.Storage.Validate(); err != nil {
+		return nil, errf("E4", err)
+	}
 	net := o.net()
 	scales := pick(o, []int{16, 64, 256, 1024}, []int{16, 64})
 	workloads := pick(o, []string{"stencil2d", "cg"}, []string{"stencil2d"})
@@ -46,11 +49,18 @@ func E4WeakScaling(o Options) ([]*report.Table, error) {
 		var rs rows
 		rs.add(c.w, c.p, "none", simtime.Duration(rBase.Makespan).String(), 0.0, 0)
 
+		// Each protocol simulates separately, so each gets its own store
+		// (nil under the default zero storage parameters).
+		withStore := func() checkpoint.Params {
+			p := params
+			p.Store = storeFor(o)
+			return p
+		}
 		protos := func() []checkpoint.Protocol {
-			cp, _ := checkpoint.NewCoordinated(params)
-			ua, _ := checkpoint.NewUncoordinated(params, checkpoint.Aligned, logp)
-			us, _ := checkpoint.NewUncoordinated(params, checkpoint.Staggered, logp)
-			ur, _ := checkpoint.NewUncoordinated(params, checkpoint.Random, logp)
+			cp, _ := checkpoint.NewCoordinated(withStore())
+			ua, _ := checkpoint.NewUncoordinated(withStore(), checkpoint.Aligned, logp)
+			us, _ := checkpoint.NewUncoordinated(withStore(), checkpoint.Staggered, logp)
+			ur, _ := checkpoint.NewUncoordinated(withStore(), checkpoint.Random, logp)
 			return []checkpoint.Protocol{cp, ua, us, ur}
 		}()
 		for _, proto := range protos {

@@ -28,6 +28,9 @@ import (
 // diverged at that scale) rather than aborting the sweep. The analytic
 // projection is closed-form and stays serial.
 func E8Crossover(o Options) ([]*report.Table, error) {
+	if err := o.Storage.Validate(); err != nil {
+		return nil, errf("E8", err)
+	}
 	net := o.net()
 	scales := pick(o, []int{16, 64, 256}, []int{16, 64})
 	betas := pick(o, []float64{0, 0.2, 0.5, 1.0}, []float64{0, 0.5})
@@ -69,7 +72,8 @@ func E8Crossover(o Options) ([]*report.Table, error) {
 			return simtime.Duration(mk).String()
 		}
 
-		cp, err := checkpoint.NewCoordinated(checkpoint.Params{Interval: tau, Write: write})
+		cp, err := checkpoint.NewCoordinated(checkpoint.Params{Interval: tau, Write: write,
+			Store: storeFor(o)})
 		if err != nil {
 			return nil, err
 		}
@@ -85,8 +89,8 @@ func E8Crossover(o Options) ([]*report.Table, error) {
 
 		var rs rows
 		for _, beta := range betas {
-			up, err := checkpoint.NewUncoordinated(checkpoint.Params{Interval: tau, Write: write},
-				checkpoint.Staggered, checkpoint.LogParams{BetaNsPerByte: beta})
+			up, err := checkpoint.NewUncoordinated(checkpoint.Params{Interval: tau, Write: write,
+				Store: storeFor(o)}, checkpoint.Staggered, checkpoint.LogParams{BetaNsPerByte: beta})
 			if err != nil {
 				return nil, err
 			}

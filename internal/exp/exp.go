@@ -1,4 +1,4 @@
-// Package exp defines the reproduction experiments E1–E16: one function
+// Package exp defines the reproduction experiments E1–E17: one function
 // per table/figure of the study, each returning report tables that
 // cmd/sweep prints and bench_test.go exercises. DESIGN.md carries the
 // experiment index; EXPERIMENTS.md records measured outputs.
@@ -21,6 +21,7 @@ import (
 	"checkpointsim/internal/runner"
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/storage"
 	"checkpointsim/internal/workload"
 )
 
@@ -39,6 +40,14 @@ type Options struct {
 	// stream from the sweep seed and its own index, never from worker
 	// identity or completion order.
 	Jobs int
+	// Storage configures the shared-storage model the checkpoint protocols
+	// write through. The zero value keeps the legacy fixed-duration write
+	// path (no store); any non-zero parameter set routes protocol writes
+	// through a store built per simulation. An unconstrained parameter set
+	// (all bandwidths zero) is byte-identical to the legacy path. E17 sweeps
+	// AggregateBytesPerSec itself and treats this field as the template for
+	// the remaining knobs.
+	Storage storage.Params
 }
 
 // DefaultOptions returns the options the full reproduction uses.
@@ -53,34 +62,54 @@ func (o Options) net() network.Params {
 	return o.Net
 }
 
-// Experiment couples an experiment ID to its runner.
+// Experiment couples an experiment ID to its runner. Bench names the
+// bench_test.go benchmark that exercises the experiment (cmd/sweep -list
+// prints it so `go test -bench` targets are discoverable from the CLI).
 type Experiment struct {
 	ID    string
 	Title string
 	Desc  string
+	Bench string
 	Run   func(Options) ([]*report.Table, error)
 }
 
 // All returns the experiments in order.
 func All() []Experiment {
 	return []Experiment{
-		{"E1", "Simulator validation", "simulated vs closed-form LogGOPS costs for point-to-point and collectives", E1Validation},
-		{"E2", "Checkpoint-as-noise propagation", "slowdown vs duty cycle of local interruptions across communication patterns", E2Propagation},
-		{"E3", "Coordination cost", "per-round coordination latency vs scale, against the tree closed form", E3Coordination},
-		{"E4", "Weak-scaling overhead", "checkpointing overhead vs node count for coordinated and uncoordinated protocols", E4WeakScaling},
-		{"E5", "Logging sensitivity", "slowdown vs per-message logging cost across workload classes", E5Logging},
-		{"E6", "Interval optimization", "simulated runtime across checkpoint intervals vs the Young/Daly optimum", E6Interval},
-		{"E7", "Failures and recovery", "expected runtime vs per-node MTBF: global rollback vs local replay", E7Recovery},
-		{"E8", "Protocol crossover", "who wins on the (scale x logging overhead) grid, simulation and model", E8Crossover},
-		{"E9", "Stagger ablation", "aligned vs staggered vs random uncoordinated checkpoint offsets", E9Stagger},
-		{"E10", "Hierarchical protocol", "cluster-size sweep for coordinate-inside/log-across checkpointing", E10Hierarchical},
-		{"E11", "Non-blocking checkpointing", "blocking vs asynchronous copy-on-write coordinated checkpointing", E11NonBlocking},
-		{"E12", "Partner checkpointing", "local filesystem writes vs diskless buddy transfers over the interconnect", E12Partner},
-		{"E13", "Straggler interaction", "protocol cost under static load imbalance (one slow rank)", E13Straggler},
-		{"E14", "Fabric contention", "partner checkpointing vs local writes under finite bisection bandwidth", E14Fabric},
-		{"E15", "Noise-shape resonance", "fixed duty cycle, swept interruption granularity (why checkpoints are the worst noise)", E15Resonance},
-		{"E16", "Two-level checkpointing", "single-level vs multilevel (SCR/FTI-class) under failures, swept local coverage", E16TwoLevel},
+		{"E1", "Simulator validation", "simulated vs closed-form LogGOPS costs for point-to-point and collectives", "BenchmarkE1Validation", E1Validation},
+		{"E2", "Checkpoint-as-noise propagation", "slowdown vs duty cycle of local interruptions across communication patterns", "BenchmarkE2Propagation", E2Propagation},
+		{"E3", "Coordination cost", "per-round coordination latency vs scale, against the tree closed form", "BenchmarkE3Coordination", E3Coordination},
+		{"E4", "Weak-scaling overhead", "checkpointing overhead vs node count for coordinated and uncoordinated protocols", "BenchmarkE4WeakScaling", E4WeakScaling},
+		{"E5", "Logging sensitivity", "slowdown vs per-message logging cost across workload classes", "BenchmarkE5Logging", E5Logging},
+		{"E6", "Interval optimization", "simulated runtime across checkpoint intervals vs the Young/Daly optimum", "BenchmarkE6Interval", E6Interval},
+		{"E7", "Failures and recovery", "expected runtime vs per-node MTBF: global rollback vs local replay", "BenchmarkE7Recovery", E7Recovery},
+		{"E8", "Protocol crossover", "who wins on the (scale x logging overhead) grid, simulation and model", "BenchmarkE8Crossover", E8Crossover},
+		{"E9", "Stagger ablation", "aligned vs staggered vs random uncoordinated checkpoint offsets", "BenchmarkE9Stagger", E9Stagger},
+		{"E10", "Hierarchical protocol", "cluster-size sweep for coordinate-inside/log-across checkpointing", "BenchmarkE10Hierarchical", E10Hierarchical},
+		{"E11", "Non-blocking checkpointing", "blocking vs asynchronous copy-on-write coordinated checkpointing", "BenchmarkE11NonBlocking", E11NonBlocking},
+		{"E12", "Partner checkpointing", "local filesystem writes vs diskless buddy transfers over the interconnect", "BenchmarkE12Partner", E12Partner},
+		{"E13", "Straggler interaction", "protocol cost under static load imbalance (one slow rank)", "BenchmarkE13Straggler", E13Straggler},
+		{"E14", "Fabric contention", "partner checkpointing vs local writes under finite bisection bandwidth", "BenchmarkE14Fabric", E14Fabric},
+		{"E15", "Noise-shape resonance", "fixed duty cycle, swept interruption granularity (why checkpoints are the worst noise)", "BenchmarkE15Resonance", E15Resonance},
+		{"E16", "Two-level checkpointing", "single-level vs multilevel (SCR/FTI-class) under failures, swept local coverage", "BenchmarkE16TwoLevel", E16TwoLevel},
+		{"E17", "Storage contention map", "overhead vs (scale x aggregate PFS bandwidth): coordinated vs staggered writes through a shared store", "BenchmarkE17Contention", E17Contention},
 	}
+}
+
+// storeFor builds one simulation's store from the run's storage parameters,
+// or nil for the zero value (the legacy fixed-duration path). Stores
+// arbitrate within a single engine, so every simulate call needs a fresh
+// one; sweep points running on parallel workers must never share a store.
+// Callers validate o.Storage up front (an invalid set maps to nil here).
+func storeFor(o Options) *storage.Store {
+	if o.Storage == (storage.Params{}) {
+		return nil
+	}
+	st, err := storage.New(o.Storage)
+	if err != nil {
+		return nil
+	}
+	return st
 }
 
 // ByID finds an experiment by its ID (e.g. "E4").

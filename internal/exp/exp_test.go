@@ -8,13 +8,16 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("expected 16 experiments, have %d", len(all))
+	if len(all) != 17 {
+		t.Fatalf("expected 17 experiments, have %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
 		if e.ID == "" || e.Title == "" || e.Desc == "" || e.Run == nil {
 			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if !strings.HasPrefix(e.Bench, "Benchmark"+e.ID) {
+			t.Errorf("experiment %q bench name %q does not match its ID", e.ID, e.Bench)
 		}
 		if seen[e.ID] {
 			t.Errorf("duplicate id %q", e.ID)

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"checkpointsim/internal/storage"
+)
+
+// Backward-compatibility property: running the goldened experiments with an
+// explicitly built but unconstrained store — the Unlimited path, as opposed
+// to the nil store the zero Options take — must reproduce the committed
+// seed-42 quick tables byte-for-byte. This pins the whole store-routed write
+// plumbing (Options.Storage → storeFor → Params.Store → storeWrite) to the
+// legacy fixed-duration results whenever no tier is bandwidth-limited.
+func TestUnlimitedStoreMatchesGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs quick experiments")
+	}
+	for _, id := range []string{"E2", "E4", "E8"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			o := DefaultOptions()
+			o.Quick = true
+			o.Seed = 42
+			// Non-zero parameters with every bandwidth unconstrained: the
+			// experiments build a real store per simulation and the write
+			// path must still be byte-identical to the legacy one.
+			o.Storage = storage.Params{RanksPerNode: 1}
+			got := renderOpts(t, id, o)
+			path := filepath.Join("testdata", strings.ToLower(id)+"_quick_seed42.golden")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s with the Unlimited store drifted from golden %s\n--- got ---\n%s--- want ---\n%s",
+					id, path, got, want)
+			}
+		})
+	}
+}

@@ -59,6 +59,36 @@ func (c *Context) SeizeCPU(rank int, d simtime.Duration, reason string, done fun
 	c.eng.dispatch(rank)
 }
 
+// SeizeCPUDynamic requests exclusive use of rank's CPU for an open-ended
+// duration: the seizure queues and dispatches exactly like SeizeCPU, but
+// instead of a fixed cost, granted runs when the CPU is acquired and
+// receives a release function; the seizure ends when release is called
+// (from inside a later event callback — release is idempotent). This is the
+// primitive behind shared-storage checkpoint writes, whose duration depends
+// on how many other ranks are writing concurrently (see internal/storage).
+//
+// Accounting splits the occupancy at the nominal boundary: the first
+// nominal of the seizure — what a contention-free writer would pay — is
+// charged under reason, any excess under waitReason (e.g. "io-wait"). Trace
+// consumers see up to two events, one per component. done, if non-nil, runs
+// with the completion time.
+func (c *Context) SeizeCPUDynamic(rank int, nominal simtime.Duration, reason, waitReason string,
+	granted func(start simtime.Time, release func()), done func(end simtime.Time)) {
+	if rank < 0 || rank >= len(c.eng.ranks) {
+		panic(fmt.Sprintf("sim: SeizeCPUDynamic rank %d out of range", rank))
+	}
+	if nominal < 0 {
+		panic(fmt.Sprintf("sim: SeizeCPUDynamic negative nominal %v", nominal))
+	}
+	if granted == nil {
+		panic("sim: SeizeCPUDynamic nil granted")
+	}
+	st := &c.eng.ranks[rank]
+	st.seizeQ.push(job{kind: jobSeizeOpen, nominal: nominal, reason: reason,
+		waitReason: waitReason, granted: granted, fn: done})
+	c.eng.dispatch(rank)
+}
+
 // HoldApp closes a gate on rank's application progress: no new application
 // job (compute, send, receive processing) is granted the CPU until the
 // returned release function is called. Control traffic and seizures still

@@ -114,7 +114,7 @@ func traceKind(j *job) (string, goal.OpID) {
 		return "recv", j.op
 	case jobCtlSend, jobCtlRecv:
 		return "ctl", goal.NoOp
-	case jobSeize:
+	case jobSeize, jobSeizeOpen:
 		return "seize:" + j.reason, goal.NoOp
 	}
 	return "?", goal.NoOp
@@ -168,6 +168,7 @@ const (
 	jobCtlSend
 	jobCtlRecv
 	jobSeize
+	jobSeizeOpen // open-ended seizure: completion driven by release, not cost
 )
 
 // job is a unit of CPU occupancy on one rank.
@@ -178,6 +179,10 @@ type job struct {
 	msg    *message
 	reason string             // seizures: accounting key
 	fn     func(simtime.Time) // seizures/control: completion callback
+	// Open-ended seizures (jobSeizeOpen) only:
+	nominal    simtime.Duration // portion accounted under reason; excess goes to waitReason
+	waitReason string
+	granted    func(start simtime.Time, release func())
 }
 
 // postedRecv is a receive waiting for a matching message.
@@ -436,6 +441,22 @@ func (e *Engine) dispatch(rank int) {
 	st.running = true
 	st.runningJob = j
 	st.jobStart = e.now
+	if j.kind == jobSeizeOpen {
+		// Open-ended seizure: the CPU is held until the agent calls release
+		// (typically when a shared-storage drain completes); no completion
+		// is scheduled up front. release is idempotent and must be invoked
+		// from inside an event callback.
+		released := false
+		r32 := int32(rank)
+		j.granted(e.now, func() {
+			if released {
+				return
+			}
+			released = true
+			e.queue.Push(e.now, event{kind: evJobDone, rank: r32})
+		})
+		return
+	}
 	cost := j.cost
 	if j.kind != jobSeize && len(st.scales) > 0 {
 		f := 1.0
@@ -458,9 +479,21 @@ func (e *Engine) jobDone(rank int) {
 	st.running = false
 	dur := e.now.Sub(st.jobStart)
 	if e.cfg.Trace != nil {
-		kind, op := traceKind(&j)
-		e.cfg.Trace(TraceEvent{Rank: rank, Kind: kind, Start: st.jobStart,
-			End: e.now, Op: op})
+		if j.kind == jobSeizeOpen {
+			// Split the occupancy at the nominal boundary: the part any lone
+			// writer would pay, then the contention-induced wait.
+			split := st.jobStart.Add(simtime.MinDuration(j.nominal, dur))
+			e.cfg.Trace(TraceEvent{Rank: rank, Kind: "seize:" + j.reason,
+				Start: st.jobStart, End: split, Op: goal.NoOp})
+			if split < e.now {
+				e.cfg.Trace(TraceEvent{Rank: rank, Kind: "seize:" + j.waitReason,
+					Start: split, End: e.now, Op: goal.NoOp})
+			}
+		} else {
+			kind, op := traceKind(&j)
+			e.cfg.Trace(TraceEvent{Rank: rank, Kind: kind, Start: st.jobStart,
+				End: e.now, Op: op})
+		}
 	}
 	switch j.kind {
 	case jobCalc:
@@ -505,6 +538,18 @@ func (e *Engine) jobDone(rank int) {
 		st.seizedBusy += dur
 		e.seizeTime[j.reason] += dur
 		e.seizeCnt[j.reason]++
+		if j.fn != nil {
+			j.fn(e.now)
+		}
+	case jobSeizeOpen:
+		st.seizedBusy += dur
+		nominal := simtime.MinDuration(j.nominal, dur)
+		e.seizeTime[j.reason] += nominal
+		e.seizeCnt[j.reason]++
+		if wait := dur - nominal; wait > 0 {
+			e.seizeTime[j.waitReason] += wait
+			e.seizeCnt[j.waitReason]++
+		}
 		if j.fn != nil {
 			j.fn(e.now)
 		}

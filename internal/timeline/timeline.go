@@ -44,6 +44,11 @@ func class(kind string) string {
 		return "app"
 	case kind == "ctl":
 		return "ctl"
+	case kind == "seize:io-wait":
+		// The contention-induced excess of a shared-storage write
+		// (checkpoint.ReasonIOWait) — kept apart from productive seizure
+		// time so storage pressure is visible per rank.
+		return "iowait"
 	case strings.HasPrefix(kind, "seize:"):
 		return "seized"
 	}
@@ -56,6 +61,9 @@ type Utilization struct {
 	App    simtime.Duration
 	Ctl    simtime.Duration
 	Seized simtime.Duration
+	// IOWait is the rank's time stalled on contended shared storage (the
+	// "seize:io-wait" component of checkpoint writes).
+	IOWait simtime.Duration
 	Idle   simtime.Duration
 }
 
@@ -83,10 +91,12 @@ func (c *Collector) Utilization(makespan simtime.Time) []Utilization {
 			u.Ctl += d
 		case "seized":
 			u.Seized += d
+		case "iowait":
+			u.IOWait += d
 		}
 	}
 	for i := range out {
-		occupied := out[i].App + out[i].Ctl + out[i].Seized
+		occupied := out[i].App + out[i].Ctl + out[i].Seized + out[i].IOWait
 		idle := simtime.Duration(makespan) - occupied
 		if idle < 0 {
 			idle = 0
@@ -110,12 +120,13 @@ func (c *Collector) SeizedByReason() map[string]simtime.Duration {
 // PrintSummary writes the machine-level utilization table.
 func (c *Collector) PrintSummary(w io.Writer, makespan simtime.Time) {
 	us := c.Utilization(makespan)
-	var app, ctl, seized, idle simtime.Duration
+	var app, ctl, seized, iowait, idle simtime.Duration
 	worst, best := 1.0, 0.0
 	for _, u := range us {
 		app += u.App
 		ctl += u.Ctl
 		seized += u.Seized
+		iowait += u.IOWait
 		idle += u.Idle
 		f := u.AppFraction(makespan)
 		if f < worst {
@@ -125,14 +136,19 @@ func (c *Collector) PrintSummary(w io.Writer, makespan simtime.Time) {
 			best = f
 		}
 	}
-	total := float64(app + ctl + seized + idle)
+	total := float64(app + ctl + seized + iowait + idle)
 	if total == 0 {
 		fmt.Fprintln(w, "timeline: no events")
 		return
 	}
 	pct := func(d simtime.Duration) float64 { return 100 * float64(d) / total }
-	fmt.Fprintf(w, "utilization: app %.1f%%, control %.1f%%, seized %.1f%%, idle %.1f%%\n",
-		pct(app), pct(ctl), pct(seized), pct(idle))
+	if iowait > 0 {
+		fmt.Fprintf(w, "utilization: app %.1f%%, control %.1f%%, seized %.1f%%, io-wait %.1f%%, idle %.1f%%\n",
+			pct(app), pct(ctl), pct(seized), pct(iowait), pct(idle))
+	} else {
+		fmt.Fprintf(w, "utilization: app %.1f%%, control %.1f%%, seized %.1f%%, idle %.1f%%\n",
+			pct(app), pct(ctl), pct(seized), pct(idle))
+	}
 	if len(us) > 1 {
 		fmt.Fprintf(w, "per-rank app fraction: min %.1f%%, max %.1f%%\n", worst*100, best*100)
 	}
@@ -179,6 +195,8 @@ func (c *Collector) Gantt(w io.Writer, width int, makespan simtime.Time, maxRank
 			sym = 'c'
 		case "seized":
 			sym = 'X'
+		case "iowait":
+			sym = 'w'
 		default:
 			sym = '?'
 		}
@@ -191,7 +209,7 @@ func (c *Collector) Gantt(w io.Writer, width int, makespan simtime.Time, maxRank
 			grid[ev.Rank][x] = sym
 		}
 	}
-	fmt.Fprintf(w, "gantt: 0 .. %v  (#=app c=ctl X=seized .=idle)\n", simtime.Duration(makespan))
+	fmt.Fprintf(w, "gantt: 0 .. %v  (#=app c=ctl X=seized w=io-wait .=idle)\n", simtime.Duration(makespan))
 	for i, row := range grid {
 		fmt.Fprintf(w, "r%-3d |%s|\n", i, row)
 	}
