@@ -106,13 +106,22 @@ type (
 	Store = storage.Store
 	// StorageTier selects which tier of a Store a write drains through.
 	StorageTier = storage.Tier
-	// TraceEvent is one CPU-occupancy record (see SimConfig.Trace).
+	// TraceEvent is one record on the engine's trace channel (CPU
+	// occupancies plus grant/message/phase events; see sim.TraceEvent).
 	TraceEvent = sim.TraceEvent
+	// TraceType discriminates trace records; consumers that only want CPU
+	// occupancies filter on TraceCPU.
+	TraceType = sim.TraceType
 	// RecoveryKind selects the failure-recovery discipline.
 	RecoveryKind = failure.RecoveryKind
 	// FailureEvent records one injected failure.
 	FailureEvent = failure.Event
 )
+
+// TraceCPU is the trace-record type for completed CPU occupancies — the
+// only type the timeline/Gantt consumers use (see sim.TraceType for the
+// full set).
+const TraceCPU = sim.TraceCPU
 
 // Recovery disciplines for FailureConfig.Kind.
 const (

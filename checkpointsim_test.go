@@ -256,13 +256,166 @@ func TestEngineTraceHook(t *testing.T) {
 		t.Fatal(err)
 	}
 	kinds := map[string]int{}
+	widened := 0
 	for _, ev := range events {
-		kinds[ev.Kind]++
 		if ev.End < ev.Start {
 			t.Errorf("trace event ends before it starts: %+v", ev)
 		}
+		if ev.Type != TraceCPU {
+			widened++
+			continue
+		}
+		kinds[ev.Kind]++
 	}
 	if kinds["calc"] != 1 || kinds["send"] != 1 || kinds["recv"] != 1 {
-		t.Errorf("trace kinds = %v", kinds)
+		t.Errorf("CPU trace kinds = %v", kinds)
+	}
+	if widened == 0 {
+		t.Error("widened trace carried no non-CPU events (grants, NIC, message lifecycle)")
+	}
+}
+
+// Every protocol constructor the facade exports must build its protocol
+// and drive a small simulation to completion as an engine agent.
+func TestProtocolConstructors(t *testing.T) {
+	p := CheckpointParams{Interval: 10 * Millisecond, Write: Millisecond}
+	lg := LogParams{Alpha: Microsecond, BetaNsPerByte: 0.01}
+	ctors := []struct {
+		name  string
+		build func() (Protocol, error)
+	}{
+		{"coordinated", func() (Protocol, error) { return NewCoordinated(p) }},
+		{"uncoordinated", func() (Protocol, error) { return NewUncoordinated(p, "staggered", lg) }},
+		{"hierarchical", func() (Protocol, error) { return NewHierarchical(p, 4, lg) }},
+		{"non-blocking", func() (Protocol, error) {
+			return NewNonBlockingCoordinated(NonBlockingParams{
+				Params: p, Window: 2 * Millisecond, Slowdown: 1.25})
+		}},
+		{"partner", func() (Protocol, error) {
+			return NewPartnerProtocol(PartnerParams{
+				Interval: 10 * Millisecond, SerializeTime: Millisecond / 10, CkptBytes: 1 << 16})
+		}},
+		{"two-level", func() (Protocol, error) {
+			return NewTwoLevelProtocol(TwoLevelParams{
+				LocalInterval: 5 * Millisecond, LocalWrite: Millisecond / 2,
+				GlobalInterval: 20 * Millisecond, GlobalWrite: 2 * Millisecond})
+		}},
+		{"incremental", func() (Protocol, error) {
+			return NewUncoordinatedIncremental(p, "aligned", lg,
+				IncrementalParams{FullEvery: 4, Fraction: 0.25})
+		}},
+	}
+	for _, tc := range ctors {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			proto, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if proto.Name() == "" {
+				t.Error("protocol has no name")
+			}
+			const ranks, iters = 8, 40
+			b := NewBuilder(ranks)
+			for i := 0; i < ranks; i++ {
+				s := b.Seq(i)
+				for it := 0; it < iters; it++ {
+					s.Calc(Millisecond)
+					s.Join(
+						s.Fork(KindSend, int32((i+1)%ranks), 0, 4096),
+						s.Fork(KindRecv, int32((i-1+ranks)%ranks), 0, 4096),
+					)
+				}
+			}
+			prog, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := NewEngine(SimConfig{
+				Net: DefaultNetwork(), Program: prog, Agents: []Agent{proto}, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Makespan <= 0 {
+				t.Errorf("makespan = %v", res.Makespan)
+			}
+			if proto.Stats().Writes == 0 && proto.Stats().Rounds == 0 {
+				t.Errorf("%s never checkpointed in %v", tc.name, Duration(res.Makespan))
+			}
+		})
+	}
+	if _, err := NewUncoordinated(p, "sometimes", lg); err == nil {
+		t.Error("bad offset policy accepted")
+	}
+}
+
+// Every collective wrapper must compile into a simulable graph that
+// round-trips through the textual GOAL dialect.
+func TestCollectiveFacade(t *testing.T) {
+	const p = 8
+	gens := []struct {
+		name  string
+		build func(b *Builder) []OpID
+	}{
+		{"bcast", func(b *Builder) []OpID { return Bcast(b, 0, nil, 0, 64) }},
+		{"reduce", func(b *Builder) []OpID { return Reduce(b, 0, nil, 0, 64) }},
+		{"allreduce", func(b *Builder) []OpID { return Allreduce(b, nil, 0, 64) }},
+		{"barrier", func(b *Builder) []OpID { return Barrier(b, nil, 0) }},
+		{"allgather", func(b *Builder) []OpID { return Allgather(b, nil, 0, 64) }},
+		{"alltoall", func(b *Builder) []OpID { return Alltoall(b, nil, 0, 64) }},
+		{"gather", func(b *Builder) []OpID { return Gather(b, 0, nil, 0, 64) }},
+		{"scatter", func(b *Builder) []OpID { return Scatter(b, 0, nil, 0, 64) }},
+	}
+	for _, g := range gens {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			b := NewBuilder(p)
+			if exits := g.build(b); len(exits) != p {
+				t.Fatalf("%d exit ops for %d ranks", len(exits), p)
+			}
+			prog, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := ParseProgram(FormatProgram(prog))
+			if err != nil {
+				t.Fatalf("GOAL round-trip: %v", err)
+			}
+			if back.NumRanks != p {
+				t.Fatalf("round-trip kept %d ranks", back.NumRanks)
+			}
+			eng, err := NewEngine(SimConfig{Net: DefaultNetwork(), Program: prog, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Makespan <= 0 {
+				t.Errorf("makespan = %v", res.Makespan)
+			}
+		})
+	}
+}
+
+// The storage constructors must build working arbiters.
+func TestStoreConstructors(t *testing.T) {
+	st, err := NewStore(StorageParams{AggregateBytesPerSec: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("nil store")
+	}
+	if UnlimitedStore() == nil {
+		t.Fatal("nil unlimited store")
+	}
+	if _, err := NewStore(StorageParams{AggregateBytesPerSec: -1}); err == nil {
+		t.Error("negative bandwidth accepted")
 	}
 }

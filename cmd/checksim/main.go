@@ -27,6 +27,7 @@ import (
 	"checkpointsim/internal/network"
 	"checkpointsim/internal/simtime"
 	"checkpointsim/internal/timeline"
+	"checkpointsim/internal/validate"
 )
 
 func main() {
@@ -74,6 +75,7 @@ func run(args []string, out io.Writer) error {
 		storeNode    = fs.Float64("store-node", 0, "node-local burst-buffer bandwidth in GB/s (0 = unconstrained)")
 		ranksPerNode = fs.Int("ranks-per-node", 0, "ranks per node for the node storage tier (0 = 1)")
 		imageBytes   = fs.Int64("image-bytes", 0, "checkpoint image size drained through the store (0 = derive from -write)")
+		validateRun  = fs.Bool("validate", false, "run the simulation under the trace-conformance checker (internal/validate); invariant violations are fatal")
 		timelineCSV  = fs.String("timeline", "", "write a per-job CPU timeline CSV to this file")
 		gantt        = fs.Bool("gantt", false, "print an ASCII Gantt chart and utilization summary")
 		ganttWidth   = fs.Int("gantt-width", 100, "Gantt chart width in columns")
@@ -185,7 +187,7 @@ func run(args []string, out io.Writer) error {
 	if *timelineCSV != "" || *gantt {
 		cfg.Trace = func(ev checkpointsim.TraceEvent) {
 			col.Add(ev)
-			if *timelineCSV != "" {
+			if *timelineCSV != "" && ev.Type == checkpointsim.TraceCPU {
 				timelineRows = append(timelineRows, []string{
 					strconv.Itoa(ev.Rank), ev.Kind,
 					strconv.FormatInt(int64(ev.Start), 10),
@@ -193,6 +195,11 @@ func run(args []string, out io.Writer) error {
 				})
 			}
 		}
+	}
+	var chk *validate.Checker
+	if *validateRun {
+		chk = validate.New(netParams)
+		cfg.Trace = chk.Hook(cfg.Trace)
 	}
 	if *noisePeriod != "" {
 		np, err := parse(*noisePeriod)
@@ -227,9 +234,27 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if chk != nil {
+		if verr := chk.Finish(res.Result); verr != nil {
+			return verr
+		}
+		if s := res.Store; s != nil {
+			if verr := chk.CheckStorage(s.Stats()); verr != nil {
+				return verr
+			}
+		}
+		if tl, ok := res.Protocol.(validate.TaxedLogger); ok {
+			if verr := chk.CheckLogging(tl); verr != nil {
+				return verr
+			}
+		}
+	}
 	fmt.Fprintf(out, "workload:  %s on %d ranks, %d iterations\n", *workloadName, *ranks, *iters)
 	fmt.Fprintf(out, "protocol:  %s\n", res.Protocol.Name())
 	fmt.Fprint(out, res.Result)
+	if chk != nil {
+		fmt.Fprintln(out, "validate:  ok — trace conformance verified")
+	}
 	st := res.Protocol.Stats()
 	if st.Writes > 0 {
 		fmt.Fprintf(out, "checkpoints: %d writes", st.Writes)

@@ -40,14 +40,15 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		which   = fs.String("exp", "all", `experiment ids, comma separated, or "all"`)
-		quick   = fs.Bool("quick", false, "reduced sweeps (bench/CI scale)")
-		seed    = fs.Uint64("seed", 42, "random seed")
-		jobs    = fs.Int("j", runtime.NumCPU(), "worker pool size per experiment (1 = serial)")
-		csvDir  = fs.String("csv", "", "also write each table as CSV into this directory")
-		netPre  = fs.String("net", "default", "network preset: default|capability|ethernet")
-		timings = fs.Bool("timings", true, "print per-experiment wall-clock lines")
-		list    = fs.Bool("list", false, "list experiments (id, title, bench, description) and exit")
+		which    = fs.String("exp", "all", `experiment ids, comma separated, or "all"`)
+		quick    = fs.Bool("quick", false, "reduced sweeps (bench/CI scale)")
+		seed     = fs.Uint64("seed", 42, "random seed")
+		jobs     = fs.Int("j", runtime.NumCPU(), "worker pool size per experiment (1 = serial)")
+		csvDir   = fs.String("csv", "", "also write each table as CSV into this directory")
+		netPre   = fs.String("net", "default", "network preset: default|capability|ethernet")
+		timings  = fs.Bool("timings", true, "print per-experiment wall-clock lines")
+		validate = fs.Bool("validate", false, "run every simulation under the trace-conformance checker (internal/validate); any invariant violation aborts the sweep")
+		list     = fs.Bool("list", false, "list experiments (id, title, bench, description) and exit")
 
 		storeAgg     = fs.Float64("store-agg", 0, "aggregate PFS bandwidth in GB/s (0 = unconstrained)")
 		storeWriter  = fs.Float64("store-writer", 0, "per-writer PFS bandwidth cap in GB/s (0 = uncapped)")
@@ -71,6 +72,7 @@ func run(args []string, out io.Writer) error {
 	o.Quick = *quick
 	o.Seed = *seed
 	o.Jobs = *jobs
+	o.Validate = *validate
 	if *storeAgg < 0 || *storeWriter < 0 || *storeNode < 0 {
 		return fmt.Errorf("negative storage bandwidth")
 	}
@@ -117,6 +119,9 @@ func run(args []string, out io.Writer) error {
 	mode := "full"
 	if o.Quick {
 		mode = "quick"
+	}
+	if o.Validate {
+		mode += ", validated"
 	}
 	fmt.Fprintf(out, "mode: %s, seed: %d\n\n", mode, o.Seed)
 

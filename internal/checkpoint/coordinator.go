@@ -86,6 +86,7 @@ func (c *coordinator) tick() {
 	}
 	c.active = true
 	c.tickTime = c.ctx.Now()
+	c.ctx.Mark(c.members[0], "round-start", int64(len(c.members)))
 	c.handleReq(0)
 }
 
@@ -108,6 +109,7 @@ func (c *coordinator) handleReq(i int) {
 func (c *coordinator) ackReady(i int) {
 	if i == 0 {
 		c.pendingDelay = c.ctx.Now().Sub(c.tickTime)
+		c.ctx.Mark(c.members[0], "round-commit", int64(len(c.members)))
 		c.handleCommit(0)
 		return
 	}
@@ -150,6 +152,7 @@ func (c *coordinator) doneReady(i int) {
 	}
 	if i == 0 {
 		end := c.ctx.Now()
+		c.ctx.Mark(c.members[0], "round-end", int64(len(c.members)))
 		c.stats.Rounds++ // rounds and their delays count only when complete
 		c.stats.CoordDelay += c.pendingDelay
 		c.stats.RoundSpan += end.Sub(c.tickTime)

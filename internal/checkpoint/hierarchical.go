@@ -85,6 +85,15 @@ func (h *Hierarchical) SendPenalty(src, dst int, bytes int64) simtime.Duration {
 	return d
 }
 
+// LogConfig returns the logging parameter set (see validate.TaxedLogger).
+func (h *Hierarchical) LogConfig() LogParams { return h.log }
+
+// Taxed reports whether a src→dst application send pays the logging tax:
+// only inter-cluster sends do.
+func (h *Hierarchical) Taxed(src, dst int) bool {
+	return h.cluster(src) != h.cluster(dst)
+}
+
 // Name implements Protocol.
 func (h *Hierarchical) Name() string {
 	return fmt.Sprintf("hierarchical-%d", h.clusterSize)

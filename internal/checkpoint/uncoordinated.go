@@ -154,6 +154,13 @@ func (u *Uncoordinated) SendPenalty(src, dst int, bytes int64) simtime.Duration 
 	return d
 }
 
+// LogConfig returns the logging parameter set (see validate.TaxedLogger).
+func (u *Uncoordinated) LogConfig() LogParams { return u.log }
+
+// Taxed reports whether a src→dst application send pays the logging tax:
+// under uncoordinated checkpointing, every send does.
+func (u *Uncoordinated) Taxed(src, dst int) bool { return true }
+
 // Name implements Protocol.
 func (u *Uncoordinated) Name() string {
 	name := "uncoordinated-" + u.policy.String()

@@ -68,14 +68,24 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
-// The quick-mode seed-42 output is pinned to committed golden files: any
-// change to the RNG keying, the simulator, or the table layout shows up as
-// a reviewable diff instead of silently shifting results.
+// allIDs lists every experiment ID, in order.
+func allIDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// The quick-mode seed-42 output of every experiment is pinned to committed
+// golden files: any change to the RNG keying, the simulator, or the table
+// layout shows up as a reviewable diff instead of silently shifting
+// results.
 func TestGoldenQuickSeed42(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs quick experiments")
 	}
-	for _, id := range []string{"E2", "E4", "E8", "E17"} {
+	for _, id := range allIDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -29,7 +29,7 @@ func E1Validation(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := simulate(net, prog, pointSeed(o, "E1a", i), 0)
+		r, err := simulate(o, net, prog, pointSeed(o, "E1a", i), 0)
 		if err != nil {
 			return nil, err
 		}
@@ -85,7 +85,7 @@ func E1Validation(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := simulate(net, prog, pointSeed(o, "E1b", i), 0)
+			r, err := simulate(o, net, prog, pointSeed(o, "E1b", i), 0)
 			if err != nil {
 				return nil, err
 			}

@@ -29,7 +29,7 @@ func E10Hierarchical(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rBase, err := simulate(net, base, sd, 0)
+		rBase, err := simulate(o, net, base, sd, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -46,7 +46,7 @@ func E10Hierarchical(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := simulate(net, prog, sd, 0, sim.Agent(hp))
+			r, err := simulate(o, net, prog, sd, 0, sim.Agent(hp))
 			if err != nil {
 				return nil, err
 			}

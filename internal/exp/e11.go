@@ -29,7 +29,7 @@ func E11NonBlocking(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rBase, err := simulate(net, base, sd, 0)
+		rBase, err := simulate(o, net, base, sd, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -43,7 +43,7 @@ func E11NonBlocking(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := simulate(net, prog, sd, 0, sim.Agent(cp))
+		r, err := simulate(o, net, prog, sd, 0, sim.Agent(cp))
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +72,7 @@ func E11NonBlocking(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := simulate(net, prog, sd, 0, sim.Agent(nb))
+			r, err := simulate(o, net, prog, sd, 0, sim.Agent(nb))
 			if err != nil {
 				return nil, err
 			}

@@ -34,7 +34,7 @@ func E12Partner(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rBase, err := simulate(net, base, sd, 0)
+		rBase, err := simulate(o, net, base, sd, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +53,7 @@ func E12Partner(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := simulate(net, prog, sd, 0, sim.Agent(up))
+			r, err := simulate(o, net, prog, sd, 0, sim.Agent(up))
 			if err != nil {
 				return nil, err
 			}
@@ -73,7 +73,7 @@ func E12Partner(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r2, err := simulate(net, prog2, sd, 0, sim.Agent(pt))
+			r2, err := simulate(o, net, prog2, sd, 0, sim.Agent(pt))
 			if err != nil {
 				return nil, err
 			}

@@ -33,7 +33,7 @@ func E13Straggler(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return simulate(net, p, seed, 0, agents...)
+		return simulate(o, net, p, seed, 0, agents...)
 	}
 
 	t := report.NewTable("E13: checkpointing under a straggler (τ=10ms, δ=2ms)",

@@ -40,7 +40,7 @@ func E14Fabric(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rBase, err := simulate(net, base, sd, 0)
+		rBase, err := simulate(o, net, base, sd, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -57,7 +57,7 @@ func E14Fabric(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := simulate(net, prog, sd, 0, sim.Agent(up))
+		r, err := simulate(o, net, prog, sd, 0, sim.Agent(up))
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +78,7 @@ func E14Fabric(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		r2, err := simulate(net, prog2, sd, 0, sim.Agent(pt))
+		r2, err := simulate(o, net, prog2, sd, 0, sim.Agent(pt))
 		if err != nil {
 			return nil, err
 		}

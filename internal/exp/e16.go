@@ -37,7 +37,7 @@ func E16TwoLevel(o Options) ([]*report.Table, error) {
 	if err != nil {
 		return nil, errf("E16", err)
 	}
-	rBase, err := simulate(net, base, o.Seed, 0)
+	rBase, err := simulate(o, net, base, o.Seed, 0)
 	if err != nil {
 		return nil, errf("E16", err)
 	}
@@ -69,7 +69,7 @@ func E16TwoLevel(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			rG, err := simulate(net, prog, sd, simtime.Time(300*simtime.Second),
+			rG, err := simulate(o, net, prog, sd, simtime.Time(300*simtime.Second),
 				sim.Agent(cp), sim.Agent(injG))
 			if err != nil {
 				return nil, err
@@ -103,7 +103,7 @@ func E16TwoLevel(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := simulate(net, prog, sd, simtime.Time(300*simtime.Second),
+		r, err := simulate(o, net, prog, sd, simtime.Time(300*simtime.Second),
 			sim.Agent(tl), sim.Agent(inj))
 		if err != nil {
 			return nil, err

@@ -87,7 +87,7 @@ func e17Grid(o Options) ([][]e17Cell, error) {
 		if err != nil {
 			return nil, err
 		}
-		rBase, err := simulate(net, base, sd, 0)
+		rBase, err := simulate(o, net, base, sd, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +122,7 @@ func e17Grid(o Options) ([][]e17Cell, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := simulate(net, prog, sd, 0, sim.Agent(proto))
+			r, err := simulate(o, net, prog, sd, 0, sim.Agent(proto))
 			if err != nil {
 				return nil, err
 			}

@@ -35,7 +35,7 @@ func E2Propagation(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rBase, err := simulate(net, base, sd, 0)
+		rBase, err := simulate(o, net, base, sd, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -52,7 +52,7 @@ func E2Propagation(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := simulate(net, prog, sd, 0, sim.Agent(inj))
+			r, err := simulate(o, net, prog, sd, 0, sim.Agent(inj))
 			if err != nil {
 				return nil, err
 			}

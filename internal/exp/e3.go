@@ -30,7 +30,7 @@ func E3Coordination(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := simulate(net, prog, sd, 0, sim.Agent(cp))
+		r, err := simulate(o, net, prog, sd, 0, sim.Agent(cp))
 		if err != nil {
 			return nil, err
 		}

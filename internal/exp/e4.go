@@ -42,7 +42,7 @@ func E4WeakScaling(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rBase, err := simulate(net, base, sd, 0)
+		rBase, err := simulate(o, net, base, sd, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +68,7 @@ func E4WeakScaling(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := simulate(net, prog, sd, 0, sim.Agent(proto))
+			r, err := simulate(o, net, prog, sd, 0, sim.Agent(proto))
 			if err != nil {
 				return nil, err
 			}

@@ -36,7 +36,7 @@ func E5Logging(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rBase, err := simulate(net, base, sd, 0)
+		rBase, err := simulate(o, net, base, sd, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -55,7 +55,7 @@ func E5Logging(o Options) ([]*report.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				r, err := simulate(net, prog, sd, 0, sim.Agent(up))
+				r, err := simulate(o, net, prog, sd, 0, sim.Agent(up))
 				if err != nil {
 					return nil, err
 				}

@@ -48,7 +48,7 @@ func E6Interval(o Options) ([]*report.Table, error) {
 	if err != nil {
 		return nil, errf("E6", err)
 	}
-	rBase, err := simulate(net, base, o.Seed, 0)
+	rBase, err := simulate(o, net, base, o.Seed, 0)
 	if err != nil {
 		return nil, errf("E6", err)
 	}
@@ -73,7 +73,7 @@ func E6Interval(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := simulate(net, prog, seed, simtime.Time(120*simtime.Second),
+			r, err := simulate(o, net, prog, seed, simtime.Time(120*simtime.Second),
 				sim.Agent(cp), sim.Agent(inj))
 			if err != nil {
 				return nil, err

@@ -38,7 +38,7 @@ func E7Recovery(o Options) ([]*report.Table, error) {
 	if err != nil {
 		return nil, errf("E7", err)
 	}
-	rBase, err := simulate(net, base, o.Seed, 0)
+	rBase, err := simulate(o, net, base, o.Seed, 0)
 	if err != nil {
 		return nil, errf("E7", err)
 	}
@@ -66,7 +66,7 @@ func E7Recovery(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rG, err := simulate(net, prog, sd, simtime.Time(300*simtime.Second),
+		rG, err := simulate(o, net, prog, sd, simtime.Time(300*simtime.Second),
 			sim.Agent(cp), sim.Agent(injG))
 		if err != nil {
 			return nil, err
@@ -90,7 +90,7 @@ func E7Recovery(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rL, err := simulate(net, prog2, sd, simtime.Time(300*simtime.Second),
+		rL, err := simulate(o, net, prog2, sd, simtime.Time(300*simtime.Second),
 			sim.Agent(up), sim.Agent(injL))
 		if err != nil {
 			return nil, err
@@ -114,7 +114,7 @@ func E7Recovery(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rC, err := simulate(net, prog3, sd, simtime.Time(300*simtime.Second),
+		rC, err := simulate(o, net, prog3, sd, simtime.Time(300*simtime.Second),
 			sim.Agent(hp), sim.Agent(injC))
 		if err != nil {
 			return nil, err

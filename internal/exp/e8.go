@@ -56,7 +56,7 @@ func E8Crossover(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return 0, false, err
 			}
-			r, err := simulate(net, prog, sd, capT, agents...)
+			r, err := simulate(o, net, prog, sd, capT, agents...)
 			if errors.Is(err, sim.ErrCapExceeded) {
 				return capT, true, nil
 			}

@@ -22,6 +22,7 @@ import (
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
 	"checkpointsim/internal/storage"
+	"checkpointsim/internal/validate"
 	"checkpointsim/internal/workload"
 )
 
@@ -48,6 +49,14 @@ type Options struct {
 	// AggregateBytesPerSec itself and treats this field as the template for
 	// the remaining knobs.
 	Storage storage.Params
+	// Validate attaches a trace-conformance checker (internal/validate) to
+	// every simulation the experiments run: causality, resource
+	// exclusivity, conservation, and protocol invariants are verified
+	// against the full event stream, and any violation fails the
+	// experiment. Runs aborted by an event/time cap carry no result and
+	// are not validated (E8 treats capped cells as data). Costs extra per
+	// run; meant for CI and debugging, not timing studies.
+	Validate bool
 }
 
 // DefaultOptions returns the options the full reproduction uses.
@@ -135,14 +144,37 @@ func buildProg(name string, ranks, iters int, compute simtime.Duration, bytes in
 	})
 }
 
-// simulate runs one configuration to completion.
-func simulate(net network.Params, prog *goal.Program, seed uint64, maxTime simtime.Time, agents ...sim.Agent) (*sim.Result, error) {
-	e, err := sim.New(sim.Config{Net: net, Program: prog, Agents: agents,
-		Seed: seed, MaxTime: maxTime})
+// simulate runs one configuration to completion. With o.Validate set, the
+// run streams through a trace-conformance checker and any invariant
+// violation is returned as an error; capped runs (ErrCapExceeded) are
+// passed through unvalidated — there is no result to reconcile.
+func simulate(o Options, net network.Params, prog *goal.Program, seed uint64, maxTime simtime.Time, agents ...sim.Agent) (*sim.Result, error) {
+	cfg := sim.Config{Net: net, Program: prog, Agents: agents,
+		Seed: seed, MaxTime: maxTime}
+	var chk *validate.Checker
+	if o.Validate {
+		chk = validate.New(net)
+		cfg.Trace = chk.Hook(nil)
+	}
+	e, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run()
+	res, err := e.Run()
+	if err != nil || chk == nil {
+		return res, err
+	}
+	if verr := chk.Finish(res); verr != nil {
+		return nil, verr
+	}
+	for _, a := range agents {
+		if tl, ok := a.(validate.TaxedLogger); ok {
+			if verr := chk.CheckLogging(tl); verr != nil {
+				return nil, verr
+			}
+		}
+	}
+	return res, nil
 }
 
 // overheadPct computes the relative makespan increase in percent.

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"checkpointsim/internal/goal"
 	"checkpointsim/internal/rng"
 	"checkpointsim/internal/simtime"
 )
@@ -89,6 +90,19 @@ func (c *Context) SeizeCPUDynamic(rank int, nominal simtime.Duration, reason, wa
 	c.eng.dispatch(rank)
 }
 
+// Mark emits a TracePhase record on the trace channel (a no-op when no
+// trace is attached). Agents and subsystems use it to expose protocol
+// phases — coordination round boundaries, checkpoint write windows,
+// storage drains — to trace consumers such as the conformance validator.
+// name identifies the phase; detail carries a phase-specific payload.
+func (c *Context) Mark(rank int, name string, detail int64) {
+	if c.eng.cfg.Trace == nil {
+		return
+	}
+	c.eng.cfg.Trace(TraceEvent{Type: TracePhase, Rank: rank, Kind: name,
+		Start: c.eng.now, End: c.eng.now, Op: goal.NoOp, Detail: detail})
+}
+
 // HoldApp closes a gate on rank's application progress: no new application
 // job (compute, send, receive processing) is granted the CPU until the
 // returned release function is called. Control traffic and seizures still
@@ -102,6 +116,7 @@ func (c *Context) HoldApp(rank int, reason string) (release func()) {
 	}
 	st := &c.eng.ranks[rank]
 	st.held++
+	c.Mark(rank, "hold", int64(st.held))
 	start := c.eng.now
 	released := false
 	return func() {
@@ -113,6 +128,7 @@ func (c *Context) HoldApp(rank int, reason string) (release func()) {
 		if st.held < 0 {
 			panic("sim: HoldApp release underflow")
 		}
+		c.Mark(rank, "hold-release", int64(st.held))
 		c.eng.heldTime[reason] += c.eng.now.Sub(start)
 		c.eng.heldCnt[reason]++
 		c.eng.dispatch(rank)

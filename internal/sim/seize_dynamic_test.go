@@ -131,7 +131,7 @@ func TestSeizeCPUDynamicTraceSplit(t *testing.T) {
 	}
 	var seize []TraceEvent
 	for _, ev := range events {
-		if ev.Kind == "seize:write" || ev.Kind == "seize:wait" {
+		if ev.Type == TraceCPU && (ev.Kind == "seize:write" || ev.Kind == "seize:wait") {
 			seize = append(seize, ev)
 		}
 	}

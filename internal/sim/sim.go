@@ -87,18 +87,88 @@ type Config struct {
 	MaxEvents int64
 	// MaxTime aborts simulations that pass this virtual time; 0 = no cap.
 	MaxTime simtime.Time
-	// Trace, when non-nil, receives one record per completed CPU job —
-	// the raw material for timelines and Gantt-style visualizations. It
-	// runs synchronously on the simulation's hot path; keep it cheap.
+	// Trace, when non-nil, receives the engine's event stream: one
+	// TraceCPU record per completed CPU job (the raw material for
+	// timelines and Gantt-style visualizations) plus grant, NIC,
+	// message-injection, arrival, match, and phase-marker records (the raw
+	// material for trace-conformance validation — see internal/validate).
+	// Consumers that only care about CPU occupancies filter on
+	// TraceEvent.Type == TraceCPU. The callback runs synchronously on the
+	// simulation's hot path; keep it cheap.
 	Trace func(TraceEvent)
 }
 
-// TraceEvent describes one completed CPU occupancy on one rank.
+// TraceType distinguishes the records flowing through Config.Trace. The
+// zero value is TraceCPU, so consumers written against the original
+// CPU-occupancy-only trace (and tests constructing events by literal) keep
+// working unchanged.
+type TraceType uint8
+
+const (
+	// TraceCPU is one completed CPU occupancy on one rank — the original
+	// trace record, and the only type timeline/Gantt consumers care about.
+	TraceCPU TraceType = iota
+	// TraceGrant marks the instant a job is granted the CPU (Start == End).
+	// Kind and Op match the TraceCPU record(s) the job will emit when it
+	// completes. Grants let a validator check quiesce invariants in exact
+	// stream order: between a "hold" and its "hold-release" phase marker no
+	// application-class grant may appear on that rank.
+	TraceGrant
+	// TraceNIC is one NIC occupancy on the sending rank: the injection
+	// serialization window g + (s-1)·G for one message.
+	TraceNIC
+	// TraceInject records a message leaving the sender: Start is the wire
+	// departure time (post NIC and fabric serialization), End the scheduled
+	// arrival at Dst.
+	TraceInject
+	// TraceArrive marks a message reaching Dst (Start == End). It must
+	// coincide with the End of the matching TraceInject.
+	TraceArrive
+	// TraceMatch links a matchable message (eager or RTS envelope) to the
+	// posted receive it matched: MsgID ↔ RecvOp, emitted on the receiver.
+	TraceMatch
+	// TracePhase is an agent- or subsystem-emitted marker (Start == End):
+	// hold gates, coordination round boundaries, checkpoint write and
+	// storage drain begin/end. Kind names the phase, Detail carries a
+	// phase-specific payload (bytes, round root, hold depth).
+	TracePhase
+)
+
+// TraceEvent is one record on the trace channel. Which fields are
+// meaningful depends on Type; TraceCPU events populate exactly the fields
+// the original CPU-occupancy trace did.
 type TraceEvent struct {
+	Type       TraceType
 	Rank       int
-	Kind       string // "calc", "send", "recv", "ctl", "seize:<reason>"
+	Kind       string // CPU/grant: "calc", "send", "recv", "ctl", "seize:<reason>"; inject/arrive/match: message kind; phase: marker name
 	Start, End simtime.Time
 	Op         goal.OpID // NoOp for non-application jobs
+	// Message-event fields (TraceNIC, TraceInject, TraceArrive, TraceMatch):
+	MsgID    int64 // unique per wire traversal, assigned at injection
+	Src, Dst int
+	Tag      int32
+	Bytes    int64     // payload bytes
+	Wire     int64     // bytes occupying NIC and wire (0 for bare envelopes)
+	RecvOp   goal.OpID // matched receive (TraceMatch, data injections)
+	// Detail is the TracePhase payload.
+	Detail int64
+}
+
+// msgKindName names a message kind for trace records.
+func msgKindName(k msgKind) string {
+	switch k {
+	case msgEager:
+		return "eager"
+	case msgRTS:
+		return "rts"
+	case msgCTS:
+		return "cts"
+	case msgData:
+		return "data"
+	case msgCtl:
+		return "ctl"
+	}
+	return "?"
 }
 
 // traceKind maps job kinds to trace labels.
@@ -148,6 +218,7 @@ const (
 // message is anything traversing the network.
 type message struct {
 	kind     msgKind
+	id       int64 // trace identity, assigned at injection
 	src, dst int32
 	tag      int32
 	bytes    int64              // payload size (app size carried for RTS/CTS bookkeeping)
@@ -261,6 +332,7 @@ type Engine struct {
 	events     int64
 	metrics    Metrics
 	fabricFree simtime.Time
+	nextMsgID  int64
 	seizeTime  map[string]simtime.Duration
 	seizeCnt   map[string]int64
 	heldTime   map[string]simtime.Duration
@@ -441,6 +513,11 @@ func (e *Engine) dispatch(rank int) {
 	st.running = true
 	st.runningJob = j
 	st.jobStart = e.now
+	if e.cfg.Trace != nil {
+		kind, op := traceKind(&j)
+		e.cfg.Trace(TraceEvent{Type: TraceGrant, Rank: rank, Kind: kind,
+			Start: e.now, End: e.now, Op: op, Detail: int64(st.held)})
+	}
 	if j.kind == jobSeizeOpen {
 		// Open-ended seizure: the CPU is held until the agent calls release
 		// (typically when a shared-storage drain completes); no completion
@@ -581,8 +658,16 @@ func (e *Engine) opDone(id goal.OpID) {
 // is the size used for wire and NIC occupancy (0 for bare envelopes).
 func (e *Engine) inject(rank int, m *message, wireBytes int64) {
 	st := &e.ranks[rank]
+	m.wire = wireBytes
+	e.nextMsgID++
+	m.id = e.nextMsgID
 	inj := simtime.Max(e.now, st.nicFreeAt)
 	st.nicFreeAt = inj.Add(e.net.NIC(wireBytes))
+	if e.cfg.Trace != nil {
+		e.cfg.Trace(TraceEvent{Type: TraceNIC, Rank: rank, Kind: msgKindName(m.kind),
+			Start: inj, End: st.nicFreeAt, MsgID: m.id,
+			Src: int(m.src), Dst: int(m.dst), Wire: wireBytes})
+	}
 	// Optional shared-fabric constraint: the message also serializes
 	// through the machine's bisection.
 	if occ := e.net.FabricOccupancy(wireBytes); occ > 0 {
@@ -597,12 +682,22 @@ func (e *Engine) inject(rank int, m *message, wireBytes int64) {
 		arr = last
 	}
 	st.lastArrival[m.dst] = arr
+	if e.cfg.Trace != nil {
+		e.cfg.Trace(TraceEvent{Type: TraceInject, Rank: rank, Kind: msgKindName(m.kind),
+			Start: inj, End: arr, MsgID: m.id, Src: int(m.src), Dst: int(m.dst),
+			Tag: m.tag, Bytes: m.bytes, Wire: wireBytes, Op: m.op, RecvOp: m.recvOp})
+	}
 	e.queue.Push(arr, event{kind: evArrive, msg: m})
 }
 
 // arrive handles a message reaching its destination rank.
 func (e *Engine) arrive(m *message) {
 	st := &e.ranks[m.dst]
+	if e.cfg.Trace != nil {
+		e.cfg.Trace(TraceEvent{Type: TraceArrive, Rank: int(m.dst), Kind: msgKindName(m.kind),
+			Start: e.now, End: e.now, MsgID: m.id, Src: int(m.src), Dst: int(m.dst),
+			Tag: m.tag, Bytes: m.bytes, Wire: m.wire, Op: m.op, RecvOp: m.recvOp})
+	}
 	switch m.kind {
 	case msgEager, msgRTS:
 		if idx := e.matchPosted(st, m); idx >= 0 {
@@ -637,6 +732,11 @@ func (e *Engine) arrive(m *message) {
 func (e *Engine) matched(m *message, recvOp goal.OpID) {
 	e.metrics.Matches++
 	st := &e.ranks[m.dst]
+	if e.cfg.Trace != nil {
+		e.cfg.Trace(TraceEvent{Type: TraceMatch, Rank: int(m.dst), Kind: msgKindName(m.kind),
+			Start: e.now, End: e.now, MsgID: m.id, Src: int(m.src), Dst: int(m.dst),
+			Tag: m.tag, Bytes: m.bytes, Op: m.op, RecvOp: recvOp})
+	}
 	switch m.kind {
 	case msgEager:
 		st.appQ.push(job{kind: jobRecvDone, cost: e.net.RecvCPU(m.bytes), op: recvOp})

@@ -70,6 +70,15 @@ type Sched interface {
 	At(t simtime.Time, fn func())
 }
 
+// Marker is optionally implemented by the bound Sched (*sim.Context does):
+// when present, the store emits "store-begin"/"store-end" phase markers on
+// the trace channel, carrying the write's byte count, so a trace validator
+// can check that every byte written is eventually drained. Fake schedulers
+// in tests need not implement it.
+type Marker interface {
+	Mark(rank int, name string, detail int64)
+}
+
 // Params describe the storage system. Zero values leave the corresponding
 // resource unconstrained; the all-zero Params is the Unlimited store.
 type Params struct {
@@ -259,6 +268,13 @@ func (s *Store) Bind(sc Sched) {
 // node returns the node hosting rank.
 func (s *Store) node(rank int) int { return rank / s.p.ranksPerNode() }
 
+// mark emits a phase marker when the bound scheduler supports it.
+func (s *Store) mark(rank int, name string, detail int64) {
+	if m, ok := s.sched.(Marker); ok {
+		m.Mark(rank, name, detail)
+	}
+}
+
 // Begin starts draining bytes written by rank to tier; drained runs exactly
 // once, with the completion time, when the last byte has left. Must be
 // called from inside an event callback of the bound scheduler. Writes to an
@@ -278,6 +294,7 @@ func (s *Store) Begin(rank int, tier Tier, bytes int64, drained func(end simtime
 		remaining: float64(bytes), bytes: bytes, start: now, drained: drained,
 	}
 	s.writes = append(s.writes, w)
+	s.mark(rank, "store-begin", bytes)
 	s.join(w, +1)
 	if n := len(s.writes); n > s.stats.PeakWriters {
 		s.stats.PeakWriters = n
@@ -394,6 +411,7 @@ func (s *Store) onTimer(t simtime.Time) {
 	s.writes = kept
 	s.reschedule()
 	for _, w := range done {
+		s.mark(w.rank, "store-end", w.bytes)
 		s.stats.Writes++
 		s.stats.Bytes += w.bytes
 		if wait := t.Sub(w.start) - s.LoneDuration(w.tier, w.bytes); wait > 0 {

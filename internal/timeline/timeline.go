@@ -23,8 +23,13 @@ type Collector struct {
 // NewCollector returns an empty collector.
 func NewCollector() *Collector { return &Collector{} }
 
-// Add records one event (the sim.Config.Trace callback).
+// Add records one event (the sim.Config.Trace callback). Non-CPU records
+// on the widened trace channel (grants, message events, phase markers) are
+// ignored: the timeline view is built from CPU occupancies only.
 func (c *Collector) Add(ev sim.TraceEvent) {
+	if ev.Type != sim.TraceCPU {
+		return
+	}
 	c.events = append(c.events, ev)
 	if ev.Rank+1 > c.ranks {
 		c.ranks = ev.Rank + 1

@@ -1,0 +1,682 @@
+// Package validate implements a trace-conformance checker for the
+// simulator: it consumes the widened sim.Config.Trace event stream and
+// verifies, after (or during) every run, that the engine respected the
+// invariants the study's conclusions rest on.
+//
+// The checks fall into four families:
+//
+//   - Causality. A message never arrives before its injection plus the
+//     LogGOPS wire lower bound L + (s-1)·G; a receive never completes
+//     before its matching message is available plus the receiver overhead
+//     o + (s-1)·O; per-(src,dst) channels are non-overtaking; the event
+//     stream never travels backwards in time.
+//
+//   - Resource exclusivity. Each rank's CPU runs one job at a time: every
+//     grant is followed by completion segments that start exactly at the
+//     grant and chain end-to-start, and a new grant never begins before
+//     the previous occupancy ended. NIC injection windows on a rank are
+//     serialized and exactly g + (s-1)·G wide.
+//
+//   - Conservation. Per-rank application, control, and seized CPU time
+//     recomputed from the trace equal the engine's Result accounting
+//     exactly; all occupancies lie inside [0, makespan] and the makespan
+//     is attained; every injected message arrives (in-flight control
+//     messages at exit excepted); every application message is matched to
+//     exactly one receive, and no receive matches twice; message counters
+//     (app/ctl/rendezvous/matches) recomputed from the stream equal
+//     Result.Metrics; storage bytes drained equal bytes begun (per-rank
+//     FIFO pairing, in-flight writes at exit excepted).
+//
+//   - Protocol invariants. Coordinated rounds fully quiesce: between a
+//     "hold" marker and its "hold-release" no application-class job is
+//     granted on that rank, at a "round-commit" every member's gate is
+//     closed and no application job is mid-flight (groups of ≥ 2 ranks),
+//     and round markers follow the start → commit → end state machine.
+//     Uncoordinated/hierarchical logging charges α + round(β·bytes) on
+//     exactly the senders the policy taxes (CheckLogging).
+//
+// A Checker is single-run state: build one per simulation with New, feed
+// it every trace event (Hook adapts it to sim.Config.Trace), then call
+// Finish with the run's Result. Violations accumulate (capped) and are
+// reported together by Err.
+package validate
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/goal"
+	"checkpointsim/internal/network"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/storage"
+)
+
+// maxViolations caps the violations retained; further ones only count.
+const maxViolations = 20
+
+type chanKey struct{ src, dst int }
+
+// ready is a receive whose message is available for final processing.
+type ready struct {
+	at    simtime.Time
+	bytes int64
+}
+
+// msgState tracks one wire traversal from injection to match.
+type msgState struct {
+	kind        string
+	src, dst    int
+	bytes, wire int64
+	arriveAt    simtime.Time // scheduled arrival (TraceInject.End)
+	arrived     bool
+	matched     bool
+}
+
+// appSend is one application send op (for logging reconciliation).
+type appSend struct {
+	src, dst int
+	bytes    int64
+}
+
+// rankState is the per-rank streaming state.
+type rankState struct {
+	grantOpen bool // a grant has been seen (job granted at least once)
+	running   bool // granted with no completion segment yet
+	grantKind string
+	grantTime simtime.Time
+	segEnd    simtime.Time // end of the last completion segment
+	cpuEnd    simtime.Time // end of the last completed CPU occupancy
+	nicEnd    simtime.Time // end of the last NIC injection window
+
+	holdDepth int64
+
+	app, ctl, seized simtime.Duration
+	maxAppEnd        simtime.Time
+	sawApp           bool
+
+	// Coordinated-round state machine, keyed by root rank.
+	roundPhase int // 0 idle, 1 started, 2 committed
+	roundSize  int64
+
+	// FIFO of in-flight shared-storage writes (bytes), begin-to-end.
+	storeQ []int64
+}
+
+// Checker verifies trace conformance for one simulation run.
+type Checker struct {
+	net network.Params
+
+	ranks     []rankState
+	msgs      map[int64]*msgState
+	chanLast  map[chanKey]simtime.Time
+	recvReady map[goal.OpID]ready
+	recvSeen  map[goal.OpID]bool
+	appSends  []appSend
+	clock     simtime.Time
+
+	// Stream-derived counters, reconciled against Result.Metrics.
+	nMatches, nApp, nCtl, nRndzv int64
+	appBytes, ctlBytes           int64
+
+	// Storage conservation counters.
+	storeBegunBytes, storeEndedBytes int64
+	storeBegun, storeEnded           int64
+
+	violations []string
+	dropped    int64
+}
+
+// New builds a checker for one run under the given network parameters.
+func New(net network.Params) *Checker {
+	return &Checker{
+		net:       net,
+		msgs:      make(map[int64]*msgState),
+		chanLast:  make(map[chanKey]simtime.Time),
+		recvReady: make(map[goal.OpID]ready),
+		recvSeen:  make(map[goal.OpID]bool),
+	}
+}
+
+// Hook returns a sim.Config.Trace callback feeding the checker and then
+// forwarding to next (which may be nil) — so validation can tee with an
+// existing trace consumer such as the timeline collector.
+func (c *Checker) Hook(next func(sim.TraceEvent)) func(sim.TraceEvent) {
+	return func(ev sim.TraceEvent) {
+		c.Add(ev)
+		if next != nil {
+			next(ev)
+		}
+	}
+}
+
+func (c *Checker) fail(format string, args ...any) {
+	if len(c.violations) >= maxViolations {
+		c.dropped++
+		return
+	}
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+}
+
+// Violations returns the retained violation messages.
+func (c *Checker) Violations() []string { return c.violations }
+
+// Err returns nil when no violation was recorded, or one error
+// summarizing all of them.
+func (c *Checker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	n := int64(len(c.violations)) + c.dropped
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "validate: %d violation(s):", n)
+	for _, v := range c.violations {
+		sb.WriteString("\n  - ")
+		sb.WriteString(v)
+	}
+	if c.dropped > 0 {
+		fmt.Fprintf(&sb, "\n  ... %d more", c.dropped)
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
+// rank returns the state for a rank index, growing storage on demand.
+func (c *Checker) rank(i int) *rankState {
+	for len(c.ranks) <= i {
+		c.ranks = append(c.ranks, rankState{})
+	}
+	return &c.ranks[i]
+}
+
+// class buckets a CPU-event kind.
+func class(kind string) string {
+	switch {
+	case kind == "calc" || kind == "send" || kind == "recv":
+		return "app"
+	case kind == "ctl":
+		return "ctl"
+	case strings.HasPrefix(kind, "seize:"):
+		return "seized"
+	}
+	return "other"
+}
+
+// Add consumes one trace event (in emission order — pass events in the
+// exact sequence the engine produced them).
+func (c *Checker) Add(ev sim.TraceEvent) {
+	if ev.Rank < 0 {
+		c.fail("event with negative rank %d", ev.Rank)
+		return
+	}
+	// No time travel: instantaneous records (grants, arrivals, matches,
+	// phase markers) are emitted at the engine's current time and must be
+	// non-decreasing along the stream. NIC and injection windows may
+	// legitimately start in the engine's future (busy NIC), but never in
+	// its past. CPU occupancies are ordered by the per-rank grant-chaining
+	// checks instead: a completed occupancy can end before the stream
+	// clock (the lone-writer segment of a split open-ended seizure is
+	// emitted at release time but ends at its nominal split).
+	switch ev.Type {
+	case sim.TraceGrant, sim.TraceArrive, sim.TraceMatch, sim.TracePhase:
+		if ev.Start < c.clock {
+			c.fail("time travel: event type %d on rank %d at %v after stream reached %v",
+				ev.Type, ev.Rank, ev.Start, c.clock)
+		} else {
+			c.clock = ev.Start
+		}
+	case sim.TraceNIC, sim.TraceInject:
+		if ev.Start < c.clock {
+			c.fail("time travel: msg %d window starts %v before stream reached %v",
+				ev.MsgID, ev.Start, c.clock)
+		}
+	case sim.TraceCPU:
+		if ev.End > c.clock {
+			c.clock = ev.End
+		}
+	}
+
+	switch ev.Type {
+	case sim.TraceCPU:
+		c.addCPU(ev)
+	case sim.TraceGrant:
+		c.addGrant(ev)
+	case sim.TraceNIC:
+		c.addNIC(ev)
+	case sim.TraceInject:
+		c.addInject(ev)
+	case sim.TraceArrive:
+		c.addArrive(ev)
+	case sim.TraceMatch:
+		c.addMatch(ev)
+	case sim.TracePhase:
+		c.addPhase(ev)
+	default:
+		c.fail("unknown trace event type %d", ev.Type)
+	}
+}
+
+func (c *Checker) addGrant(ev sim.TraceEvent) {
+	st := c.rank(ev.Rank)
+	if st.running {
+		c.fail("rank %d: grant of %q at %v while %q granted at %v has not completed",
+			ev.Rank, ev.Kind, ev.Start, st.grantKind, st.grantTime)
+	}
+	if ev.Start < st.cpuEnd {
+		c.fail("rank %d: grant of %q at %v overlaps occupancy ending %v",
+			ev.Rank, ev.Kind, ev.Start, st.cpuEnd)
+	}
+	if class(ev.Kind) == "app" && st.holdDepth > 0 {
+		c.fail("rank %d: quiesce violation: app job %q granted at %v with %d hold gate(s) closed",
+			ev.Rank, ev.Kind, ev.Start, st.holdDepth)
+	}
+	if ev.Detail != st.holdDepth {
+		c.fail("rank %d: grant at %v reports hold depth %d, stream says %d",
+			ev.Rank, ev.Start, ev.Detail, st.holdDepth)
+	}
+	st.grantOpen = true
+	st.running = true
+	st.grantKind = ev.Kind
+	st.grantTime = ev.Start
+}
+
+func (c *Checker) addCPU(ev sim.TraceEvent) {
+	st := c.rank(ev.Rank)
+	if ev.End < ev.Start {
+		c.fail("rank %d: CPU event %q with End %v < Start %v", ev.Rank, ev.Kind, ev.End, ev.Start)
+		return
+	}
+	if !st.grantOpen {
+		c.fail("rank %d: CPU completion %q at %v without a grant", ev.Rank, ev.Kind, ev.End)
+	} else if st.running {
+		// First completion segment of the granted job.
+		if ev.Start != st.grantTime {
+			c.fail("rank %d: occupancy %q starts at %v, grant was at %v",
+				ev.Rank, ev.Kind, ev.Start, st.grantTime)
+		}
+		if ev.Kind != st.grantKind {
+			c.fail("rank %d: occupancy %q completes a grant for %q", ev.Rank, ev.Kind, st.grantKind)
+		}
+		st.running = false
+	} else {
+		// Continuation segment (open-ended seizures split their occupancy
+		// at the nominal boundary): must chain exactly.
+		if ev.Start != st.segEnd {
+			c.fail("rank %d: occupancy segment %q starts at %v, previous segment ended %v",
+				ev.Rank, ev.Kind, ev.Start, st.segEnd)
+		}
+		if !strings.HasPrefix(ev.Kind, "seize:") || !strings.HasPrefix(st.grantKind, "seize:") {
+			c.fail("rank %d: unexpected continuation segment %q after grant %q",
+				ev.Rank, ev.Kind, st.grantKind)
+		}
+	}
+	st.segEnd = ev.End
+	st.cpuEnd = ev.End
+	d := ev.End.Sub(ev.Start)
+	switch class(ev.Kind) {
+	case "app":
+		st.app += d
+		st.sawApp = true
+		if ev.End > st.maxAppEnd {
+			st.maxAppEnd = ev.End
+		}
+		if ev.Kind == "recv" && ev.Op != goal.NoOp {
+			c.checkRecvDone(ev)
+		}
+	case "ctl":
+		st.ctl += d
+	case "seized":
+		st.seized += d
+	default:
+		c.fail("rank %d: CPU event with unknown kind %q", ev.Rank, ev.Kind)
+	}
+}
+
+// checkRecvDone verifies the receive-completion lower bound: the final
+// processing starts no earlier than the message became available and lasts
+// at least o + (s-1)·O.
+func (c *Checker) checkRecvDone(ev sim.TraceEvent) {
+	r, ok := c.recvReady[ev.Op]
+	if !ok {
+		c.fail("rank %d: recv op %d completed at %v with no matched message",
+			ev.Rank, ev.Op, ev.End)
+		return
+	}
+	delete(c.recvReady, ev.Op)
+	if ev.Start < r.at {
+		c.fail("rank %d: recv op %d processing starts %v before its message was available at %v",
+			ev.Rank, ev.Op, ev.Start, r.at)
+	}
+	if min := c.net.RecvCPU(r.bytes); ev.End.Sub(ev.Start) < min {
+		c.fail("rank %d: recv op %d occupancy %v < RecvCPU(%d B) = %v",
+			ev.Rank, ev.Op, ev.End.Sub(ev.Start), r.bytes, min)
+	}
+}
+
+func (c *Checker) addNIC(ev sim.TraceEvent) {
+	st := c.rank(ev.Rank)
+	if ev.Start < st.nicEnd {
+		c.fail("rank %d: NIC window [%v,%v] overlaps previous window ending %v",
+			ev.Rank, ev.Start, ev.End, st.nicEnd)
+	}
+	if want := ev.Start.Add(c.net.NIC(ev.Wire)); ev.End != want {
+		c.fail("rank %d: NIC window for msg %d is [%v,%v], want width g+(s-1)G = %v",
+			ev.Rank, ev.MsgID, ev.Start, ev.End, c.net.NIC(ev.Wire))
+	}
+	st.nicEnd = ev.End
+}
+
+func (c *Checker) addInject(ev sim.TraceEvent) {
+	if _, dup := c.msgs[ev.MsgID]; dup {
+		c.fail("msg %d injected twice", ev.MsgID)
+		return
+	}
+	if floor := ev.Start.Add(c.net.Wire(ev.Wire)); ev.End < floor {
+		c.fail("msg %d (%s %d->%d): arrival %v beats wire lower bound %v (depart %v + L+(s-1)G)",
+			ev.MsgID, ev.Kind, ev.Src, ev.Dst, ev.End, floor, ev.Start)
+	}
+	c.msgs[ev.MsgID] = &msgState{
+		kind: ev.Kind, src: ev.Src, dst: ev.Dst,
+		bytes: ev.Bytes, wire: ev.Wire, arriveAt: ev.End,
+	}
+	switch ev.Kind {
+	case "eager":
+		c.nApp++
+		c.appBytes += ev.Bytes
+		c.appSends = append(c.appSends, appSend{src: ev.Src, dst: ev.Dst, bytes: ev.Bytes})
+	case "data":
+		c.nApp++
+		c.appBytes += ev.Bytes
+	case "rts":
+		c.nRndzv++
+		c.appSends = append(c.appSends, appSend{src: ev.Src, dst: ev.Dst, bytes: ev.Bytes})
+	case "ctl", "cts":
+		c.nCtl++
+		c.ctlBytes += ev.Wire
+	default:
+		c.fail("msg %d injected with unknown kind %q", ev.MsgID, ev.Kind)
+	}
+}
+
+func (c *Checker) addArrive(ev sim.TraceEvent) {
+	m, ok := c.msgs[ev.MsgID]
+	if !ok {
+		c.fail("msg %d arrived at %v without an injection record", ev.MsgID, ev.Start)
+		return
+	}
+	if m.arrived {
+		c.fail("msg %d arrived twice", ev.MsgID)
+		return
+	}
+	m.arrived = true
+	if ev.Start != m.arriveAt {
+		c.fail("msg %d (%s %d->%d): arrived at %v, injection scheduled %v",
+			ev.MsgID, m.kind, m.src, m.dst, ev.Start, m.arriveAt)
+	}
+	if ev.Rank != m.dst {
+		c.fail("msg %d (%s %d->%d): arrived on rank %d", ev.MsgID, m.kind, m.src, m.dst, ev.Rank)
+	}
+	key := chanKey{m.src, m.dst}
+	if last, ok := c.chanLast[key]; ok && ev.Start < last {
+		c.fail("channel %d->%d: overtaking: msg %d arrives %v after a %v arrival",
+			m.src, m.dst, ev.MsgID, ev.Start, last)
+	}
+	c.chanLast[key] = ev.Start
+	if m.kind == "data" {
+		// Rendezvous payload: the receive can complete once the data is in.
+		if _, dup := c.recvReady[ev.RecvOp]; dup {
+			c.fail("recv op %d readied twice (data msg %d)", ev.RecvOp, ev.MsgID)
+		}
+		c.recvReady[ev.RecvOp] = ready{at: ev.Start, bytes: m.bytes}
+	}
+}
+
+func (c *Checker) addMatch(ev sim.TraceEvent) {
+	c.nMatches++
+	m, ok := c.msgs[ev.MsgID]
+	if !ok {
+		c.fail("match of unknown msg %d at %v", ev.MsgID, ev.Start)
+		return
+	}
+	if !m.arrived {
+		c.fail("msg %d matched at %v before arriving", ev.MsgID, ev.Start)
+	}
+	if m.matched {
+		c.fail("msg %d matched twice", ev.MsgID)
+		return
+	}
+	m.matched = true
+	if m.kind != "eager" && m.kind != "rts" {
+		c.fail("msg %d: match of non-matchable kind %q", ev.MsgID, m.kind)
+		return
+	}
+	if ev.Start < m.arriveAt {
+		c.fail("msg %d matched at %v before its arrival %v", ev.MsgID, ev.Start, m.arriveAt)
+	}
+	if c.recvSeen[ev.RecvOp] {
+		c.fail("recv op %d matched a second message (msg %d)", ev.RecvOp, ev.MsgID)
+	}
+	c.recvSeen[ev.RecvOp] = true
+	if m.kind == "eager" {
+		if _, dup := c.recvReady[ev.RecvOp]; dup {
+			c.fail("recv op %d readied twice (eager msg %d)", ev.RecvOp, ev.MsgID)
+		}
+		c.recvReady[ev.RecvOp] = ready{at: ev.Start, bytes: m.bytes}
+	}
+}
+
+func (c *Checker) addPhase(ev sim.TraceEvent) {
+	st := c.rank(ev.Rank)
+	switch ev.Kind {
+	case "hold":
+		st.holdDepth++
+		if ev.Detail != st.holdDepth {
+			c.fail("rank %d: hold at %v reports depth %d, stream says %d",
+				ev.Rank, ev.Start, ev.Detail, st.holdDepth)
+		}
+	case "hold-release":
+		st.holdDepth--
+		if st.holdDepth < 0 {
+			c.fail("rank %d: hold-release at %v without a matching hold", ev.Rank, ev.Start)
+			st.holdDepth = 0
+		} else if ev.Detail != st.holdDepth {
+			c.fail("rank %d: hold-release at %v reports depth %d, stream says %d",
+				ev.Rank, ev.Start, ev.Detail, st.holdDepth)
+		}
+	case "round-start":
+		if st.roundPhase != 0 {
+			c.fail("root %d: round-start at %v inside an unfinished round (phase %d)",
+				ev.Rank, ev.Start, st.roundPhase)
+		}
+		st.roundPhase = 1
+		st.roundSize = ev.Detail
+	case "round-commit":
+		if st.roundPhase != 1 {
+			c.fail("root %d: round-commit at %v out of order (phase %d)",
+				ev.Rank, ev.Start, st.roundPhase)
+		}
+		st.roundPhase = 2
+		c.checkCommitBarrier(ev.Rank, st.roundSize, ev.Start)
+	case "round-end":
+		if st.roundPhase != 2 {
+			c.fail("root %d: round-end at %v out of order (phase %d)",
+				ev.Rank, ev.Start, st.roundPhase)
+		}
+		st.roundPhase = 0
+	case "store-begin":
+		st.storeQ = append(st.storeQ, ev.Detail)
+		c.storeBegun++
+		c.storeBegunBytes += ev.Detail
+	case "store-end":
+		c.storeEnded++
+		c.storeEndedBytes += ev.Detail
+		if len(st.storeQ) == 0 {
+			c.fail("rank %d: store-end of %d B at %v with no write in flight",
+				ev.Rank, ev.Detail, ev.Start)
+			return
+		}
+		if st.storeQ[0] != ev.Detail {
+			c.fail("rank %d: store-end drained %d B, oldest in-flight write wrote %d B",
+				ev.Rank, ev.Detail, st.storeQ[0])
+		}
+		st.storeQ = st.storeQ[1:]
+	}
+}
+
+// checkCommitBarrier verifies the quiesce state at a coordinated round's
+// commit: the round's members are the size contiguous ranks starting at
+// the root (how both Coordinated and Hierarchical lay out their groups).
+// Every member's gate must be closed, and — for groups of at least two
+// ranks, where the commit necessarily postdates every member's ACK — no
+// application job may be mid-flight on any member's CPU, so no
+// application message can cross the barrier. (A single-rank group commits
+// at its own tick, possibly mid-job; there is no barrier to cross.)
+func (c *Checker) checkCommitBarrier(root int, size int64, at simtime.Time) {
+	if size < 2 {
+		return
+	}
+	for m := root; m < root+int(size); m++ {
+		st := c.rank(m)
+		if st.holdDepth <= 0 {
+			c.fail("round(root %d): member %d gate open at commit (%v)", root, m, at)
+		}
+		if st.running && class(st.grantKind) == "app" {
+			c.fail("round(root %d): member %d has app job %q (granted %v) in flight at commit (%v)",
+				root, m, st.grantKind, st.grantTime, at)
+		}
+	}
+}
+
+// Finish runs the end-of-run checks against the engine's Result and
+// returns Err(). In-flight work the engine legitimately truncates when the
+// last application op completes — a running control job, unreleased hold
+// gates, an undrained storage write, an undelivered control message — is
+// not flagged.
+func (c *Checker) Finish(res *sim.Result) error {
+	if res == nil {
+		c.fail("Finish called with nil result")
+		return c.Err()
+	}
+	n := len(res.RankBusy)
+	if len(c.ranks) > n {
+		c.fail("trace names rank %d, result has %d ranks", len(c.ranks)-1, n)
+	}
+	var maxApp simtime.Time
+	sawApp := false
+	for i := 0; i < n && i < len(c.ranks); i++ {
+		st := &c.ranks[i]
+		if st.app != res.RankBusy[i] {
+			c.fail("rank %d: traced app time %v != RankBusy %v", i, st.app, res.RankBusy[i])
+		}
+		if st.ctl != res.RankCtlBusy[i] {
+			c.fail("rank %d: traced ctl time %v != RankCtlBusy %v", i, st.ctl, res.RankCtlBusy[i])
+		}
+		if st.seized != res.RankSeized[i] {
+			c.fail("rank %d: traced seized time %v != RankSeized %v", i, st.seized, res.RankSeized[i])
+		}
+		if st.cpuEnd > res.Makespan {
+			c.fail("rank %d: occupancy ends %v after makespan %v", i, st.cpuEnd, res.Makespan)
+		}
+		if st.sawApp {
+			sawApp = true
+			if st.maxAppEnd != res.RankFinish[i] {
+				c.fail("rank %d: last app occupancy ends %v, RankFinish is %v",
+					i, st.maxAppEnd, res.RankFinish[i])
+			}
+			if st.maxAppEnd > maxApp {
+				maxApp = st.maxAppEnd
+			}
+		}
+	}
+	if sawApp && maxApp != res.Makespan {
+		c.fail("last app occupancy ends %v, makespan is %v", maxApp, res.Makespan)
+	}
+	for id, m := range c.msgs {
+		if !m.arrived {
+			if m.kind != "ctl" {
+				c.fail("msg %d (%s %d->%d) never arrived", id, m.kind, m.src, m.dst)
+			}
+			continue
+		}
+		if (m.kind == "eager" || m.kind == "rts") && !m.matched {
+			c.fail("orphan: msg %d (%s %d->%d) arrived but never matched", id, m.kind, m.src, m.dst)
+		}
+	}
+	for op := range c.recvReady {
+		c.fail("recv op %d matched a message but never completed", op)
+	}
+	mt := res.Metrics
+	if c.nApp != mt.AppMessages || c.appBytes != mt.AppBytes {
+		c.fail("traced %d app msgs (%d B), metrics say %d (%d B)",
+			c.nApp, c.appBytes, mt.AppMessages, mt.AppBytes)
+	}
+	if c.nCtl != mt.CtlMessages || c.ctlBytes != mt.CtlBytes {
+		c.fail("traced %d ctl msgs (%d B), metrics say %d (%d B)",
+			c.nCtl, c.ctlBytes, mt.CtlMessages, mt.CtlBytes)
+	}
+	if c.nRndzv != mt.Rendezvous {
+		c.fail("traced %d rendezvous, metrics say %d", c.nRndzv, mt.Rendezvous)
+	}
+	if c.nMatches != mt.Matches {
+		c.fail("traced %d matches, metrics say %d", c.nMatches, mt.Matches)
+	}
+	return c.Err()
+}
+
+// CheckStorage reconciles the store's counters against the trace: every
+// byte the store reports drained must correspond to a traced
+// store-begin/store-end pair (writes still in flight at exit excepted).
+func (c *Checker) CheckStorage(ss storage.Stats) error {
+	if ss.Writes != c.storeEnded {
+		c.fail("store reports %d completed writes, trace saw %d", ss.Writes, c.storeEnded)
+	}
+	if ss.Bytes != c.storeEndedBytes {
+		c.fail("store reports %d B drained, trace saw %d B", ss.Bytes, c.storeEndedBytes)
+	}
+	inFlight := c.storeBegun - c.storeEnded
+	if inFlight < 0 {
+		c.fail("more store-end (%d) than store-begin (%d) markers", c.storeEnded, c.storeBegun)
+	}
+	return c.Err()
+}
+
+// TaxedLogger is the introspection surface of a logging protocol
+// (Uncoordinated, Hierarchical): its accumulated stats, its logging
+// parameters, and its taxing policy.
+type TaxedLogger interface {
+	Stats() checkpoint.Stats
+	LogConfig() checkpoint.LogParams
+	Taxed(src, dst int) bool
+}
+
+// CheckLogging recomputes the sender-based logging charge from the traced
+// application sends — α + round(β·bytes) on exactly the sends the policy
+// taxes — and requires the protocol's accumulated counters to match
+// exactly. Call after the run (the send set is complete at Finish time).
+func (c *Checker) CheckLogging(p TaxedLogger) error {
+	lp := p.LogConfig()
+	var nMsgs, nBytes int64
+	var penalty simtime.Duration
+	for _, s := range c.appSends {
+		if !p.Taxed(s.src, s.dst) {
+			continue
+		}
+		nMsgs++
+		nBytes += s.bytes
+		penalty += lp.Alpha + simtime.Duration(math.Round(lp.BetaNsPerByte*float64(s.bytes)))
+	}
+	st := p.Stats()
+	if st.LoggedMessages != nMsgs {
+		c.fail("logging: protocol charged %d messages, trace says %d taxed sends",
+			st.LoggedMessages, nMsgs)
+	}
+	if st.LoggedBytes != nBytes {
+		c.fail("logging: protocol logged %d B, trace says %d B", st.LoggedBytes, nBytes)
+	}
+	if st.LogPenalty != penalty {
+		c.fail("logging: protocol charged %v CPU, α+β·bytes over taxed sends is %v",
+			st.LogPenalty, penalty)
+	}
+	return c.Err()
+}
