@@ -120,7 +120,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := goal.WriteDOT(f, prog, net); err != nil {
+		if err := goal.WriteDOT(f, prog); err != nil {
 			f.Close()
 			return err
 		}

@@ -42,11 +42,8 @@ func E10Hierarchical(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			prog, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
-			if err != nil {
-				return nil, err
-			}
-			r, err := simulate(o, net, prog, sd, 0, sim.Agent(hp))
+			// Same spec and seed as base: reuse the immutable program.
+			r, err := simulate(o, net, base, sd, 0, sim.Agent(hp))
 			if err != nil {
 				return nil, err
 			}

@@ -39,11 +39,8 @@ func E11NonBlocking(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		prog, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
-		if err != nil {
-			return nil, err
-		}
-		r, err := simulate(o, net, prog, sd, 0, sim.Agent(cp))
+		// Same spec and seed as base: reuse the immutable program.
+		r, err := simulate(o, net, base, sd, 0, sim.Agent(cp))
 		if err != nil {
 			return nil, err
 		}
@@ -68,11 +65,7 @@ func E11NonBlocking(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			prog, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
-			if err != nil {
-				return nil, err
-			}
-			r, err := simulate(o, net, prog, sd, 0, sim.Agent(nb))
+			r, err := simulate(o, net, base, sd, 0, sim.Agent(nb))
 			if err != nil {
 				return nil, err
 			}

@@ -49,11 +49,8 @@ func E12Partner(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			prog, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
-			if err != nil {
-				return nil, err
-			}
-			r, err := simulate(o, net, prog, sd, 0, sim.Agent(up))
+			// Same spec and seed as base: reuse the immutable program.
+			r, err := simulate(o, net, base, sd, 0, sim.Agent(up))
 			if err != nil {
 				return nil, err
 			}
@@ -69,11 +66,7 @@ func E12Partner(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			prog2, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
-			if err != nil {
-				return nil, err
-			}
-			r2, err := simulate(o, net, prog2, sd, 0, sim.Agent(pt))
+			r2, err := simulate(o, net, base, sd, 0, sim.Agent(pt))
 			if err != nil {
 				return nil, err
 			}

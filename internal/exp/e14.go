@@ -53,11 +53,8 @@ func E14Fabric(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		prog, err := buildProg("transpose", ranks, iters, ms(1), 32*1024, sd)
-		if err != nil {
-			return nil, err
-		}
-		r, err := simulate(o, net, prog, sd, 0, sim.Agent(up))
+		// Same spec and seed as base: reuse the immutable program.
+		r, err := simulate(o, net, base, sd, 0, sim.Agent(up))
 		if err != nil {
 			return nil, err
 		}
@@ -74,11 +71,7 @@ func E14Fabric(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		prog2, err := buildProg("transpose", ranks, iters, ms(1), 32*1024, sd)
-		if err != nil {
-			return nil, err
-		}
-		r2, err := simulate(o, net, prog2, sd, 0, sim.Agent(pt))
+		r2, err := simulate(o, net, base, sd, 0, sim.Agent(pt))
 		if err != nil {
 			return nil, err
 		}

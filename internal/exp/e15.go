@@ -44,11 +44,8 @@ func E15Resonance(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			prog, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
-			if err != nil {
-				return nil, err
-			}
-			r, err := simulate(o, net, prog, sd, 0, sim.Agent(inj))
+			// Same spec and seed as base: reuse the immutable program.
+			r, err := simulate(o, net, base, sd, 0, sim.Agent(inj))
 			if err != nil {
 				return nil, err
 			}

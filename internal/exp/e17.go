@@ -118,11 +118,9 @@ func e17Grid(o Options) ([][]e17Cell, error) {
 			if err != nil {
 				return nil, err
 			}
-			prog, err := buildProg("ep", pt.p, iters, grain, 4096, sd)
-			if err != nil {
-				return nil, err
-			}
-			r, err := simulate(o, net, prog, sd, 0, sim.Agent(proto))
+			// Identical spec and seed — the base program serves every
+			// protocol variant of this cell.
+			r, err := simulate(o, net, base, sd, 0, sim.Agent(proto))
 			if err != nil {
 				return nil, err
 			}

@@ -41,10 +41,8 @@ func E2Propagation(o Options) ([]*report.Table, error) {
 		}
 		var rs rows
 		for _, duty := range duties {
-			prog, err := buildProg(w, ranks, iters, ms(1), 4096, sd)
-			if err != nil {
-				return nil, err
-			}
+			// The program is a pure function of its spec and immutable once
+			// built: reuse base instead of rebuilding it per duty cycle.
 			inj, err := noise.NewInjector(noise.Config{
 				Period:   period,
 				Duration: period.Scale(duty),
@@ -52,7 +50,7 @@ func E2Propagation(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := simulate(o, net, prog, sd, 0, sim.Agent(inj))
+			r, err := simulate(o, net, base, sd, 0, sim.Agent(inj))
 			if err != nil {
 				return nil, err
 			}

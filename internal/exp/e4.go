@@ -64,11 +64,8 @@ func E4WeakScaling(o Options) ([]*report.Table, error) {
 			return []checkpoint.Protocol{cp, ua, us, ur}
 		}()
 		for _, proto := range protos {
-			prog, err := buildProg(c.w, c.p, iters, ms(1), 4096, sd)
-			if err != nil {
-				return nil, err
-			}
-			r, err := simulate(o, net, prog, sd, 0, sim.Agent(proto))
+			// Identical spec and seed — reuse the base program per protocol.
+			r, err := simulate(o, net, base, sd, 0, sim.Agent(proto))
 			if err != nil {
 				return nil, err
 			}

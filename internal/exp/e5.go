@@ -51,11 +51,8 @@ func E5Logging(o Options) ([]*report.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				prog, err := buildProg(w.name, ranks, iters, ms(1), w.bytes, sd)
-				if err != nil {
-					return nil, err
-				}
-				r, err := simulate(o, net, prog, sd, 0, sim.Agent(up))
+				// Same spec and seed as base: reuse the immutable program.
+				r, err := simulate(o, net, base, sd, 0, sim.Agent(up))
 				if err != nil {
 					return nil, err
 				}

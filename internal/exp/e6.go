@@ -69,11 +69,9 @@ func E6Interval(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			prog, err := buildProg("stencil2d", ranks, iters, ms(1), 4096, o.Seed)
-			if err != nil {
-				return nil, err
-			}
-			r, err := simulate(o, net, prog, seed, simtime.Time(120*simtime.Second),
+			// The program depends only on o.Seed, not the replication seed:
+			// every replication of every factor reuses the base build.
+			r, err := simulate(o, net, base, seed, simtime.Time(120*simtime.Second),
 				sim.Agent(cp), sim.Agent(inj))
 			if err != nil {
 				return nil, err

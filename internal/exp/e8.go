@@ -49,13 +49,16 @@ func E8Crossover(o Options) ([]*report.Table, error) {
 		sys := mtbf.Seconds() / float64(p)
 		tau := simtime.FromSeconds(model.DalyInterval(write.Seconds(), sys))
 
+		// One immutable program serves every protocol variant at this scale:
+		// the coordinated run and each β's uncoordinated run share it.
+		prog, err := buildProg("stencil2d", p, iters, ms(1), 4096, sd)
+		if err != nil {
+			return nil, err
+		}
+
 		// run simulates one protocol variant at this scale under the
 		// point's seed, treating a cap abort as a diverged (capped) run.
 		run := func(agents ...sim.Agent) (makespan simtime.Time, capped bool, err error) {
-			prog, err := buildProg("stencil2d", p, iters, ms(1), 4096, sd)
-			if err != nil {
-				return 0, false, err
-			}
 			r, err := simulate(o, net, prog, sd, capT, agents...)
 			if errors.Is(err, sim.ErrCapExceeded) {
 				return capT, true, nil

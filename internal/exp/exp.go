@@ -13,6 +13,7 @@ package exp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"checkpointsim/internal/goal"
 	"checkpointsim/internal/network"
@@ -57,6 +58,10 @@ type Options struct {
 	// are not validated (E8 treats capped cells as data). Costs extra per
 	// run; meant for CI and debugging, not timing studies.
 	Validate bool
+	// Events, when non-nil, accumulates the simulation events processed by
+	// every run the experiment performs (atomically — sweep points run on
+	// parallel workers). cmd/bench uses it to report events/sec.
+	Events *int64
 }
 
 // DefaultOptions returns the options the full reproduction uses.
@@ -161,6 +166,9 @@ func simulate(o Options, net network.Params, prog *goal.Program, seed uint64, ma
 		return nil, err
 	}
 	res, err := e.Run()
+	if res != nil && o.Events != nil {
+		atomic.AddInt64(o.Events, res.Events)
+	}
 	if err != nil || chk == nil {
 		return res, err
 	}

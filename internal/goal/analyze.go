@@ -158,7 +158,7 @@ func maxDist(dist []simtime.Duration, from []OpID) (simtime.Duration, []OpID) {
 // solid edges for dependencies, dashed edges for statically matched
 // messages. Intended for small programs (inspection and documentation);
 // large graphs produce large files.
-func WriteDOT(w io.Writer, p *Program, net network.Params) error {
+func WriteDOT(w io.Writer, p *Program) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "digraph program {")
 	fmt.Fprintln(bw, "  rankdir=TB; node [shape=box, fontsize=10];")
@@ -212,6 +212,5 @@ func WriteDOT(w io.Writer, p *Program, net network.Params) error {
 		}
 	}
 	fmt.Fprintln(bw, "}")
-	_ = net
 	return bw.Flush()
 }

@@ -138,7 +138,7 @@ func TestWriteDOT(t *testing.T) {
 	s1.Recv(0, 0, 64)
 	p := b.MustBuild()
 	var sb strings.Builder
-	if err := WriteDOT(&sb, p, cpNet()); err != nil {
+	if err := WriteDOT(&sb, p); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

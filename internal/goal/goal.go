@@ -19,6 +19,7 @@ package goal
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"checkpointsim/internal/simtime"
 )
@@ -87,6 +88,12 @@ type Program struct {
 	Ops      []Op
 
 	byRank [][]OpID // ops of each rank, in creation order
+
+	// validated memoizes a successful Validate. Programs are immutable once
+	// built, and experiment sweeps run the same program through many engines
+	// (one per replication, possibly on parallel workers), so the O(ops)
+	// structural re-check is pure overhead after the first pass.
+	validated atomic.Bool
 }
 
 // RankOps returns the IDs of all operations bound to the given rank, in
@@ -144,8 +151,14 @@ func (s Stats) String() string {
 }
 
 // Validate checks structural invariants: rank and peer bounds, non-negative
-// sizes and durations, dependency IDs in range, acyclicity.
+// sizes and durations, dependency IDs in range, acyclicity. A successful
+// check is memoized — repeat calls (one per simulation of a shared program)
+// return immediately. Mutating a program after a successful Validate is not
+// supported.
 func (p *Program) Validate() error {
+	if p.validated.Load() {
+		return nil
+	}
 	if p.NumRanks <= 0 {
 		return fmt.Errorf("goal: program has %d ranks", p.NumRanks)
 	}
@@ -206,7 +219,11 @@ func (p *Program) Validate() error {
 			}
 		}
 	}
-	return p.checkAcyclic()
+	if err := p.checkAcyclic(); err != nil {
+		return err
+	}
+	p.validated.Store(true)
+	return nil
 }
 
 // checkAcyclic runs Kahn's algorithm over the dependency edges.

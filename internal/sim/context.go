@@ -56,7 +56,7 @@ func (c *Context) SeizeCPU(rank int, d simtime.Duration, reason string, done fun
 		panic(fmt.Sprintf("sim: SeizeCPU negative duration %v", d))
 	}
 	st := &c.eng.ranks[rank]
-	st.seizeQ.push(job{kind: jobSeize, cost: d, reason: reason, fn: done})
+	st.seizeQ.push(job{kind: jobSeize, cost: d, reason: c.eng.internReason(reason), fn: done})
 	c.eng.dispatch(rank)
 }
 
@@ -85,8 +85,9 @@ func (c *Context) SeizeCPUDynamic(rank int, nominal simtime.Duration, reason, wa
 		panic("sim: SeizeCPUDynamic nil granted")
 	}
 	st := &c.eng.ranks[rank]
-	st.seizeQ.push(job{kind: jobSeizeOpen, nominal: nominal, reason: reason,
-		waitReason: waitReason, granted: granted, fn: done})
+	st.seizeQ.push(job{kind: jobSeizeOpen, nominal: nominal,
+		reason: c.eng.internReason(reason), waitReason: c.eng.internReason(waitReason),
+		granted: granted, fn: done})
 	c.eng.dispatch(rank)
 }
 
@@ -115,6 +116,7 @@ func (c *Context) HoldApp(rank int, reason string) (release func()) {
 		panic(fmt.Sprintf("sim: HoldApp rank %d out of range", rank))
 	}
 	st := &c.eng.ranks[rank]
+	id := c.eng.internReason(reason)
 	st.held++
 	c.Mark(rank, "hold", int64(st.held))
 	start := c.eng.now
@@ -129,8 +131,8 @@ func (c *Context) HoldApp(rank int, reason string) (release func()) {
 			panic("sim: HoldApp release underflow")
 		}
 		c.Mark(rank, "hold-release", int64(st.held))
-		c.eng.heldTime[reason] += c.eng.now.Sub(start)
-		c.eng.heldCnt[reason]++
+		c.eng.heldTime[id] += c.eng.now.Sub(start)
+		c.eng.heldCnt[id]++
 		c.eng.dispatch(rank)
 	}
 }
@@ -185,7 +187,8 @@ func (c *Context) SendControl(src, dst int, bytes int64, deliver func(at simtime
 	if bytes < 0 {
 		panic("sim: SendControl negative size")
 	}
-	m := &message{kind: msgCtl, src: int32(src), dst: int32(dst), bytes: bytes,
+	m := c.eng.newMsg()
+	*m = message{kind: msgCtl, src: int32(src), dst: int32(dst), bytes: bytes,
 		wire: bytes, deliver: deliver}
 	st := &c.eng.ranks[src]
 	st.ctlQ.push(job{kind: jobCtlSend, cost: c.eng.net.SendCPU(bytes), msg: m})

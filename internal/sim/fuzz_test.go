@@ -212,6 +212,12 @@ func FuzzParallelAgents(f *testing.F) {
 }
 
 func TestFuzzWithFabric(t *testing.T) {
+	// Note this does NOT assert makespan monotonicity: delaying one
+	// injection through the shared fabric can reorder non-preemptive CPU
+	// grants downstream and *shorten* the schedule (a Graham scheduling
+	// anomaly — seed 0xee69 finishes ~2% faster constrained), so "fabric
+	// never helps" is not an invariant of the model. The sound properties
+	// are determinism and fabric-occupancy accounting.
 	net := network.DefaultParams()
 	net.BisectionBytesPerSec = 10e9
 	f := func(seed uint16) bool {
@@ -225,15 +231,29 @@ func TestFuzzWithFabric(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		// Unconstrained rerun is never slower.
+		// The constrained run is deterministic: a rerun is bit-identical.
+		eng2, _ := New(Config{Net: net, Program: prog, Seed: uint64(seed)})
+		rep, err := eng2.Run()
+		if err != nil || rep.Makespan != res.Makespan || rep.Events != res.Events ||
+			rep.Metrics != res.Metrics {
+			return false
+		}
+		// Fabric occupancy accumulates exactly when app bytes crossed the
+		// wire, and never without the constraint configured.
 		net2 := net
 		net2.BisectionBytesPerSec = 0
-		eng2, _ := New(Config{Net: net2, Program: prog, Seed: uint64(seed)})
-		res2, err := eng2.Run()
+		eng3, _ := New(Config{Net: net2, Program: prog, Seed: uint64(seed)})
+		res2, err := eng3.Run()
 		if err != nil {
 			return false
 		}
-		return res.Makespan >= res2.Makespan
+		if res2.Metrics.FabricBusy != 0 {
+			return false
+		}
+		if res.Metrics.AppBytes > 0 && res.Metrics.FabricBusy <= 0 {
+			return false
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)

@@ -45,12 +45,26 @@ func (e *Engine) buildResult() *Result {
 		RankCtlBusy:     make([]simtime.Duration, len(e.ranks)),
 		RankSeized:      make([]simtime.Duration, len(e.ranks)),
 		RankScaledExtra: make([]simtime.Duration, len(e.ranks)),
-		SeizedTime:      e.seizeTime,
-		SeizedCount:     e.seizeCnt,
-		HeldTime:        e.heldTime,
-		HeldCount:       e.heldCnt,
+		SeizedTime:      make(map[string]simtime.Duration),
+		SeizedCount:     make(map[string]int64),
+		HeldTime:        make(map[string]simtime.Duration),
+		HeldCount:       make(map[string]int64),
 		Metrics:         e.metrics,
 		Events:          e.events,
+	}
+	// Re-expand the interned accounting to the string-keyed maps the Result
+	// API has always exposed. A reason appears only if it was actually
+	// charged (a queued-but-never-completed seizure leaves no key), matching
+	// the behavior of the old map-per-event accounting.
+	for id, reason := range e.reasons {
+		if e.seizeCnt[id] > 0 {
+			r.SeizedTime[reason] = e.seizeTime[id]
+			r.SeizedCount[reason] = e.seizeCnt[id]
+		}
+		if e.heldCnt[id] > 0 {
+			r.HeldTime[reason] = e.heldTime[id]
+			r.HeldCount[reason] = e.heldCnt[id]
+		}
 	}
 	for i := range e.ranks {
 		st := &e.ranks[i]

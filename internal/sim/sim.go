@@ -171,8 +171,9 @@ func msgKindName(k msgKind) string {
 	return "?"
 }
 
-// traceKind maps job kinds to trace labels.
-func traceKind(j *job) (string, goal.OpID) {
+// traceKind maps job kinds to trace labels. Seize labels come from the
+// intern table, so emitting one performs no string concatenation.
+func (e *Engine) traceKind(j *job) (string, goal.OpID) {
 	switch j.kind {
 	case jobCalc:
 		return "calc", j.op
@@ -185,7 +186,7 @@ func traceKind(j *job) (string, goal.OpID) {
 	case jobCtlSend, jobCtlRecv:
 		return "ctl", goal.NoOp
 	case jobSeize, jobSeizeOpen:
-		return "seize:" + j.reason, goal.NoOp
+		return e.seizeLabels[j.reason], goal.NoOp
 	}
 	return "?", goal.NoOp
 }
@@ -242,17 +243,23 @@ const (
 	jobSeizeOpen // open-ended seizure: completion driven by release, not cost
 )
 
+// reasonID is an interned seize/hold accounting reason. The engine maps
+// each distinct reason string to a small integer once, at seize/hold request
+// time, so the per-event accounting in jobDone is array indexing instead of
+// string-keyed map updates; Result re-expands IDs to strings at the end.
+type reasonID int32
+
 // job is a unit of CPU occupancy on one rank.
 type job struct {
 	kind   jobKind
 	cost   simtime.Duration
 	op     goal.OpID
 	msg    *message
-	reason string             // seizures: accounting key
+	reason reasonID           // seizures: interned accounting key
 	fn     func(simtime.Time) // seizures/control: completion callback
 	// Open-ended seizures (jobSeizeOpen) only:
 	nominal    simtime.Duration // portion accounted under reason; excess goes to waitReason
-	waitReason string
+	waitReason reasonID
 	granted    func(start simtime.Time, release func())
 }
 
@@ -281,8 +288,11 @@ type rankState struct {
 	nicFreeAt   simtime.Time
 	posted      []postedRecv
 	unexpected  []*message
-	// lastArrival enforces non-overtaking per destination: keyed by dst.
-	lastArrival map[int32]simtime.Time
+	// lastArrival enforces non-overtaking per destination: a flat slice
+	// indexed by dst rank, allocated lazily on this rank's first injection
+	// (so idle ranks cost nothing). The zero value is safe: arrival times
+	// are never negative, so an untouched slot never clamps.
+	lastArrival []simtime.Time
 	finish      simtime.Time
 	busy        simtime.Duration // CPU time spent on application jobs
 	ctlBusy     simtime.Duration // CPU time spent on control processing
@@ -333,11 +343,21 @@ type Engine struct {
 	metrics    Metrics
 	fabricFree simtime.Time
 	nextMsgID  int64
-	seizeTime  map[string]simtime.Duration
-	seizeCnt   map[string]int64
-	heldTime   map[string]simtime.Duration
-	heldCnt    map[string]int64
-	ran        bool
+	// Interned seize/hold reason accounting: reasonIDs maps a reason string
+	// to its ID; the parallel slices below are indexed by that ID. The
+	// string keys reappear only at the Result boundary.
+	reasonIDs   map[string]reasonID
+	reasons     []string // id → reason
+	seizeLabels []string // id → "seize:" + reason, precomputed for traces
+	seizeTime   []simtime.Duration
+	seizeCnt    []int64
+	heldTime    []simtime.Duration
+	heldCnt     []int64
+	// msgFree recycles message structs: every message has exactly one
+	// release point (matched, data delivery, control delivery), so the
+	// steady-state engine loop allocates none.
+	msgFree []*message
+	ran     bool
 }
 
 // Metrics accumulates global counters during a run.
@@ -377,13 +397,7 @@ func New(cfg Config) (*Engine, error) {
 		depsLeft:  make([]int32, len(cfg.Program.Ops)),
 		opsLeft:   len(cfg.Program.Ops),
 		rand:      rng.New(cfg.Seed),
-		seizeTime: make(map[string]simtime.Duration),
-		seizeCnt:  make(map[string]int64),
-		heldTime:  make(map[string]simtime.Duration),
-		heldCnt:   make(map[string]int64),
-	}
-	for i := range e.ranks {
-		e.ranks[i].lastArrival = make(map[int32]simtime.Time)
+		reasonIDs: make(map[string]reasonID),
 	}
 	for _, a := range cfg.Agents {
 		if h, ok := a.(SendHook); ok {
@@ -391,6 +405,46 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// internReason maps a seize/hold reason string to its integer ID, creating
+// the accounting slots and the precomputed "seize:<reason>" trace label on
+// first use. Protocols use a handful of fixed reasons, so the table stays
+// tiny and the map is touched once per seize/hold *request*, never per
+// completion event.
+func (e *Engine) internReason(reason string) reasonID {
+	if id, ok := e.reasonIDs[reason]; ok {
+		return id
+	}
+	id := reasonID(len(e.reasons))
+	e.reasonIDs[reason] = id
+	e.reasons = append(e.reasons, reason)
+	e.seizeLabels = append(e.seizeLabels, "seize:"+reason)
+	e.seizeTime = append(e.seizeTime, 0)
+	e.seizeCnt = append(e.seizeCnt, 0)
+	e.heldTime = append(e.heldTime, 0)
+	e.heldCnt = append(e.heldCnt, 0)
+	return id
+}
+
+// newMsg returns a zeroed message, reusing a recycled struct when one is
+// available. Callers assign every field they need via a composite literal.
+func (e *Engine) newMsg() *message {
+	if n := len(e.msgFree); n > 0 {
+		m := e.msgFree[n-1]
+		e.msgFree = e.msgFree[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+// freeMsg recycles a message whose last reference is about to die. Each
+// message is released at exactly one point in its lifecycle: an application
+// message when it matches, a data message when its receive job is queued, a
+// control message after its delivery callback runs.
+func (e *Engine) freeMsg(m *message) {
+	*m = message{}
+	e.msgFree = append(e.msgFree, m)
 }
 
 // ErrCapExceeded marks a run aborted by Config.MaxEvents or Config.MaxTime.
@@ -514,7 +568,7 @@ func (e *Engine) dispatch(rank int) {
 	st.runningJob = j
 	st.jobStart = e.now
 	if e.cfg.Trace != nil {
-		kind, op := traceKind(&j)
+		kind, op := e.traceKind(&j)
 		e.cfg.Trace(TraceEvent{Type: TraceGrant, Rank: rank, Kind: kind,
 			Start: e.now, End: e.now, Op: op, Detail: int64(st.held)})
 	}
@@ -560,14 +614,14 @@ func (e *Engine) jobDone(rank int) {
 			// Split the occupancy at the nominal boundary: the part any lone
 			// writer would pay, then the contention-induced wait.
 			split := st.jobStart.Add(simtime.MinDuration(j.nominal, dur))
-			e.cfg.Trace(TraceEvent{Rank: rank, Kind: "seize:" + j.reason,
+			e.cfg.Trace(TraceEvent{Rank: rank, Kind: e.seizeLabels[j.reason],
 				Start: st.jobStart, End: split, Op: goal.NoOp})
 			if split < e.now {
-				e.cfg.Trace(TraceEvent{Rank: rank, Kind: "seize:" + j.waitReason,
+				e.cfg.Trace(TraceEvent{Rank: rank, Kind: e.seizeLabels[j.waitReason],
 					Start: split, End: e.now, Op: goal.NoOp})
 			}
 		} else {
-			kind, op := traceKind(&j)
+			kind, op := e.traceKind(&j)
 			e.cfg.Trace(TraceEvent{Rank: rank, Kind: kind, Start: st.jobStart,
 				End: e.now, Op: op})
 		}
@@ -579,22 +633,28 @@ func (e *Engine) jobDone(rank int) {
 	case jobSendEager:
 		st.busy += dur
 		op := e.prog.Op(j.op)
-		e.inject(rank, &message{kind: msgEager, src: op.Rank, dst: op.Peer,
-			tag: op.Tag, bytes: op.Bytes, op: j.op}, op.Bytes)
+		m := e.newMsg()
+		*m = message{kind: msgEager, src: op.Rank, dst: op.Peer,
+			tag: op.Tag, bytes: op.Bytes, op: j.op}
+		e.inject(rank, m, op.Bytes)
 		e.metrics.AppMessages++
 		e.metrics.AppBytes += op.Bytes
 		e.opDone(j.op)
 	case jobSendRTS:
 		st.busy += dur
 		op := e.prog.Op(j.op)
-		e.inject(rank, &message{kind: msgRTS, src: op.Rank, dst: op.Peer,
-			tag: op.Tag, bytes: op.Bytes, op: j.op}, 0)
+		m := e.newMsg()
+		*m = message{kind: msgRTS, src: op.Rank, dst: op.Peer,
+			tag: op.Tag, bytes: op.Bytes, op: j.op}
+		e.inject(rank, m, 0)
 		e.metrics.Rendezvous++
 	case jobSendData:
 		st.busy += dur
+		// j.msg is the carrier built at CTS arrival; it already holds the
+		// data message's routing and bookkeeping, so inject it directly.
 		m := j.msg
-		e.inject(rank, &message{kind: msgData, src: m.src, dst: m.dst,
-			tag: m.tag, bytes: m.bytes, op: m.op, recvOp: m.recvOp}, m.bytes)
+		m.kind = msgData
+		e.inject(rank, m, m.bytes)
 		e.metrics.AppMessages++
 		e.metrics.AppBytes += m.bytes
 		e.opDone(m.op) // rendezvous send completes when data is pushed
@@ -611,6 +671,7 @@ func (e *Engine) jobDone(rank int) {
 		if j.msg.deliver != nil {
 			j.msg.deliver(e.now)
 		}
+		e.freeMsg(j.msg)
 	case jobSeize:
 		st.seizedBusy += dur
 		e.seizeTime[j.reason] += dur
@@ -678,7 +739,10 @@ func (e *Engine) inject(rank int, m *message, wireBytes int64) {
 	}
 	arr := inj.Add(e.net.Wire(wireBytes))
 	// Non-overtaking per (src, dst) channel.
-	if last, ok := st.lastArrival[m.dst]; ok && arr < last {
+	if st.lastArrival == nil {
+		st.lastArrival = make([]simtime.Time, len(e.ranks))
+	}
+	if last := st.lastArrival[m.dst]; arr < last {
 		arr = last
 	}
 	st.lastArrival[m.dst] = arr
@@ -711,17 +775,22 @@ func (e *Engine) arrive(m *message) {
 			}
 		}
 	case msgCTS:
-		// Back at the sender: push the data.
-		e.ranks[m.dst].appQ.push(job{
+		// Back at the sender: push the data. The CTS struct itself becomes
+		// the data-message carrier — flip its direction in place; jobSendData
+		// completes the rebrand to msgData at injection time.
+		sender := int(m.dst)
+		m.src, m.dst = m.dst, m.src
+		e.ranks[sender].appQ.push(job{
 			kind: jobSendData,
 			cost: e.net.SendCPU(m.bytes), // o + (s-1)·O to push the payload
-			msg: &message{src: m.dst, dst: m.src, tag: m.tag, bytes: m.bytes,
-				op: m.op, recvOp: m.recvOp},
+			msg:  m,
 		})
-		e.dispatch(int(m.dst))
+		e.dispatch(sender)
 	case msgData:
+		recvRank := int(m.dst)
 		st.appQ.push(job{kind: jobRecvDone, cost: e.net.RecvCPU(m.bytes), op: m.recvOp})
-		e.dispatch(int(m.dst))
+		e.freeMsg(m)
+		e.dispatch(recvRank)
 	case msgCtl:
 		st.ctlQ.push(job{kind: jobCtlRecv, cost: e.net.RecvCPU(m.bytes), msg: m})
 		e.dispatch(int(m.dst))
@@ -739,14 +808,19 @@ func (e *Engine) matched(m *message, recvOp goal.OpID) {
 	}
 	switch m.kind {
 	case msgEager:
+		recvRank := int(m.dst)
 		st.appQ.push(job{kind: jobRecvDone, cost: e.net.RecvCPU(m.bytes), op: recvOp})
-		e.dispatch(int(m.dst))
+		e.freeMsg(m)
+		e.dispatch(recvRank)
 	case msgRTS:
 		// Send CTS back to the data source; costs o on the receiver.
-		cts := &message{kind: msgCTS, src: m.dst, dst: m.src, tag: m.tag,
+		recvRank := int(m.dst)
+		cts := e.newMsg()
+		*cts = message{kind: msgCTS, src: m.dst, dst: m.src, tag: m.tag,
 			bytes: m.bytes, wire: 0, op: m.op, recvOp: recvOp}
+		e.freeMsg(m)
 		st.ctlQ.push(job{kind: jobCtlSend, cost: e.net.Overhead, msg: cts})
-		e.dispatch(int(m.dst))
+		e.dispatch(recvRank)
 	default:
 		panic("sim: matched non-matchable message")
 	}

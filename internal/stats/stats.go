@@ -126,15 +126,30 @@ func percentileSorted(sorted []float64, p float64) float64 {
 // Median returns the 50th percentile of xs.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
+// tCrit95 holds the two-sided 95% Student-t critical values for 1..29
+// degrees of freedom. Beyond that the normal approximation (1.96) is within
+// 2% and CI95 falls back to it.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+}
+
 // CI95 returns the half-width of the 95% confidence interval of the mean of
-// xs using the normal approximation (adequate for the n >= 10 replications
-// the harness uses). Returns 0 for n < 2.
+// xs. Small samples (n < 30) use the Student-t critical value for n-1
+// degrees of freedom — quick-mode experiment sweeps run 2–10 replications,
+// where the normal approximation understates the interval by 15–30% — and
+// larger samples use the 1.96 asymptote. Returns 0 for n < 2.
 func CI95(xs []float64) float64 {
 	n := len(xs)
 	if n < 2 {
 		return 0
 	}
-	return 1.96 * StdDev(xs) / math.Sqrt(float64(n))
+	z := 1.96
+	if df := n - 1; df <= len(tCrit95) {
+		z = tCrit95[df-1]
+	}
+	return z * StdDev(xs) / math.Sqrt(float64(n))
 }
 
 // Summary holds the one-pass description of a sample.
@@ -258,12 +273,14 @@ func (a *Accumulator) Merge(b *Accumulator) {
 
 // LinearFit returns the least-squares slope and intercept of y over x, plus
 // the coefficient of determination R². It panics if len(x) != len(y) and
-// returns NaNs for fewer than two points or degenerate x.
+// returns NaNs for fewer than two points. Constant x (a degenerate one-point
+// or flat sweep) has no defined slope; rather than dividing by zero and
+// poisoning downstream report columns with NaNs, the fit degrades to the
+// horizontal line through the data: slope 0, intercept mean(y), R² 0.
 func LinearFit(x, y []float64) (slope, intercept, r2 float64) {
 	if len(x) != len(y) {
 		panic("stats: LinearFit length mismatch")
 	}
-	n := float64(len(x))
 	if len(x) < 2 {
 		return math.NaN(), math.NaN(), math.NaN()
 	}
@@ -276,7 +293,7 @@ func LinearFit(x, y []float64) (slope, intercept, r2 float64) {
 		syy += dy * dy
 	}
 	if sxx == 0 {
-		return math.NaN(), math.NaN(), math.NaN()
+		return 0, my, 0
 	}
 	slope = sxy / sxx
 	intercept = my - slope*mx
@@ -285,7 +302,6 @@ func LinearFit(x, y []float64) (slope, intercept, r2 float64) {
 	} else {
 		r2 = sxy * sxy / (sxx * syy)
 	}
-	_ = n
 	return slope, intercept, r2
 }
 
@@ -332,13 +348,25 @@ func (h *Histogram) BinCenter(i int) float64 {
 	return h.Lo + (float64(i)+0.5)*w
 }
 
-// Quantile returns an approximate quantile (0..1) from binned data.
+// Quantile returns an approximate quantile (0..1) from binned data: the
+// center of the bin holding the ceil(q·n)-th smallest sample (at least the
+// first, so q=0 names the minimum rather than an arbitrary empty bin).
+// Quantiles that fall below Lo return Lo; above Hi return Hi.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.n == 0 {
 		return math.NaN()
 	}
-	target := int64(q * float64(h.n))
+	target := int64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.n {
+		target = h.n
+	}
 	cum := h.Under
+	if cum >= target {
+		return h.Lo
+	}
 	for i, c := range h.Bins {
 		cum += c
 		if cum >= target {

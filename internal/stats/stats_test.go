@@ -182,9 +182,16 @@ func TestLinearFitDegenerate(t *testing.T) {
 	if !math.IsNaN(s) {
 		t.Error("fit of one point should be NaN")
 	}
-	s, _, _ = LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
-	if !math.IsNaN(s) {
-		t.Error("fit of constant x should be NaN")
+	// Constant x carries no slope information: the fit degrades to the
+	// horizontal line through mean(y) instead of emitting NaNs.
+	s, i, r2 := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if !approx(s, 0, 1e-12) || !approx(i, 2, 1e-12) || !approx(r2, 0, 1e-12) {
+		t.Errorf("constant-x fit = %v %v %v, want 0 mean(y)=2 0", s, i, r2)
+	}
+	// Constant x AND constant y: still finite, intercept = the y value.
+	s, i, r2 = LinearFit([]float64{7, 7}, []float64{4, 4})
+	if !approx(s, 0, 1e-12) || !approx(i, 4, 1e-12) || !approx(r2, 0, 1e-12) {
+		t.Errorf("constant-xy fit = %v %v %v, want 0 4 0", s, i, r2)
 	}
 	// constant y has slope 0 and r2 1 (perfect fit)
 	s2, i2, r2 := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
@@ -252,6 +259,68 @@ func TestQuantileEmpty(t *testing.T) {
 	h := NewHistogram(0, 1, 4)
 	if !math.IsNaN(h.Quantile(0.5)) {
 		t.Error("quantile of empty histogram should be NaN")
+	}
+}
+
+func TestQuantileBoundaries(t *testing.T) {
+	// One sample in bin 3 of [0,10)x10: every quantile — q=0 included —
+	// must name that bin, not the empty first bin.
+	h := NewHistogram(0, 10, 10)
+	h.Add(3.5)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); !approx(got, 3.5, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want 3.5", q, got)
+		}
+	}
+	// Samples in bins 1 and 8: q=0 is the minimum's bin, q=1 the maximum's.
+	h = NewHistogram(0, 10, 10)
+	h.Add(1.5)
+	h.Add(8.5)
+	if got := h.Quantile(0); !approx(got, 1.5, 1e-12) {
+		t.Errorf("Quantile(0) = %v, want 1.5", got)
+	}
+	if got := h.Quantile(1); !approx(got, 8.5, 1e-12) {
+		t.Errorf("Quantile(1) = %v, want 8.5", got)
+	}
+	// All samples below Lo: the quantile is off the histogram's left edge
+	// and reports Lo rather than an arbitrary bin center.
+	h = NewHistogram(0, 10, 10)
+	h.Add(-1)
+	h.Add(-2)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); !approx(got, 0, 1e-12) {
+			t.Errorf("all-Under Quantile(%v) = %v, want Lo=0", q, got)
+		}
+	}
+	// All samples above Hi: Over absorbs everything, quantiles report Hi.
+	h = NewHistogram(0, 10, 10)
+	h.Add(11)
+	if got := h.Quantile(0.5); !approx(got, 10, 1e-12) {
+		t.Errorf("all-Over Quantile(0.5) = %v, want Hi=10", got)
+	}
+}
+
+func TestCI95SmallSampleUsesStudentT(t *testing.T) {
+	// n=2, s=sqrt(2)/sqrt(2)... use {0, 2}: mean 1, sd sqrt(2).
+	xs := []float64{0, 2}
+	want := 12.706 * math.Sqrt2 / math.Sqrt(2) // t(df=1) * s / sqrt(n)
+	if got := CI95(xs); !approx(got, want, 1e-9) {
+		t.Errorf("CI95(n=2) = %v, want %v (t=12.706)", got, want)
+	}
+	// n=5 → t(4)=2.776.
+	xs = []float64{1, 2, 3, 4, 5}
+	want = 2.776 * StdDev(xs) / math.Sqrt(5)
+	if got := CI95(xs); !approx(got, want, 1e-9) {
+		t.Errorf("CI95(n=5) = %v, want %v (t=2.776)", got, want)
+	}
+	// Large n keeps the 1.96 asymptote.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 7)
+	}
+	want = 1.96 * StdDev(big) / math.Sqrt(100)
+	if got := CI95(big); !approx(got, want, 1e-9) {
+		t.Errorf("CI95(n=100) = %v, want %v (z=1.96)", got, want)
 	}
 }
 

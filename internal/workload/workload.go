@@ -493,11 +493,10 @@ func Farm(cfg FarmConfig) (*goal.Program, error) {
 		}
 		master.Join(sends...)
 		// Workers compute and reply.
-		for w, s := range wseqs {
+		for _, s := range wseqs {
 			s.Recv(0, tagFarm, cfg.TaskBytes)
 			s.Calc(cfg.draw(r))
 			s.Send(0, tagFarm+1, cfg.ResultBytes)
-			_ = w
 		}
 		// Collect in any order.
 		var recvs []goal.OpID
