@@ -30,7 +30,9 @@ package checkpointsim
 
 import (
 	"fmt"
+	"strconv"
 
+	"checkpointsim/internal/cache"
 	"checkpointsim/internal/checkpoint"
 	"checkpointsim/internal/failure"
 	"checkpointsim/internal/goal"
@@ -369,6 +371,88 @@ type RunResult struct {
 	Store *Store
 	// FailureEvents holds the injected failures (nil without Failures).
 	FailureEvents []failure.Event
+}
+
+// CacheFields renders the result-determining configuration of this study
+// point as a flat field set for content addressing (cache.Key with a code
+// version tag): equal field sets guarantee bit-identical Run results. It
+// covers the declarative configuration — workload shape, resolved network
+// parameters, storage model, protocol knobs including nested
+// logging/incremental/two-level parameters, noise, failures, seed, and the
+// time cap. Two members are deliberately outside the address space: Trace
+// (a pure observer that cannot change results) and a live *Store injected
+// directly into Protocol.TwoLevel.Store (runtime state, not configuration
+// — stores built from RunConfig.Storage are covered via the storage
+// fields). Callers caching by these fields must configure storage
+// declaratively.
+func (cfg RunConfig) CacheFields() []cache.Field {
+	net := cfg.Net
+	if (net == NetworkParams{}) {
+		net = DefaultNetwork()
+	}
+	f64 := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	dur := func(d Duration) string { return strconv.FormatInt(int64(d), 10) }
+	i64 := func(v int64) string { return strconv.FormatInt(v, 10) }
+	fields := []cache.Field{
+		cache.F("workload", cfg.Workload),
+		cache.F("ranks", strconv.Itoa(cfg.Ranks)),
+		cache.F("iterations", strconv.Itoa(cfg.Iterations)),
+		cache.F("compute", dur(cfg.Compute)),
+		cache.F("jitter", f64(cfg.Jitter)),
+		cache.F("msg_bytes", i64(cfg.MsgBytes)),
+		cache.F("seed", strconv.FormatUint(cfg.Seed, 10)),
+		cache.F("max_time", i64(int64(cfg.MaxTime))),
+		cache.F("net.latency", dur(net.Latency)),
+		cache.F("net.overhead", dur(net.Overhead)),
+		cache.F("net.gap", dur(net.Gap)),
+		cache.F("net.gap_per_byte", f64(net.GapPerByte)),
+		cache.F("net.overhead_per_byte", f64(net.OverheadPerByte)),
+		cache.F("net.rendezvous", i64(net.RendezvousThreshold)),
+		cache.F("net.bisection_bps", f64(net.BisectionBytesPerSec)),
+		cache.F("storage.aggregate_bps", f64(cfg.Storage.AggregateBytesPerSec)),
+		cache.F("storage.per_writer_bps", f64(cfg.Storage.PerWriterBytesPerSec)),
+		cache.F("storage.node_bps", f64(cfg.Storage.NodeBytesPerSec)),
+		cache.F("storage.ranks_per_node", strconv.Itoa(cfg.Storage.RanksPerNode)),
+		cache.F("proto.kind", string(cfg.Protocol.Kind)),
+		cache.F("proto.interval", dur(cfg.Protocol.Interval)),
+		cache.F("proto.write", dur(cfg.Protocol.Write)),
+		cache.F("proto.offset", cfg.Protocol.Offset),
+		cache.F("proto.log.alpha", dur(cfg.Protocol.Logging.Alpha)),
+		cache.F("proto.log.beta", f64(cfg.Protocol.Logging.BetaNsPerByte)),
+		cache.F("proto.cluster", strconv.Itoa(cfg.Protocol.ClusterSize)),
+		cache.F("proto.incr.full_every", strconv.Itoa(cfg.Protocol.Incremental.FullEvery)),
+		cache.F("proto.incr.fraction", f64(cfg.Protocol.Incremental.Fraction)),
+		cache.F("proto.window", dur(cfg.Protocol.Window)),
+		cache.F("proto.slowdown", f64(cfg.Protocol.Slowdown)),
+		cache.F("proto.ckpt_bytes", i64(cfg.Protocol.CkptBytes)),
+		cache.F("proto.bytes", i64(cfg.Protocol.Bytes)),
+		cache.F("proto.2l.local_interval", dur(cfg.Protocol.TwoLevel.LocalInterval)),
+		cache.F("proto.2l.local_write", dur(cfg.Protocol.TwoLevel.LocalWrite)),
+		cache.F("proto.2l.global_interval", dur(cfg.Protocol.TwoLevel.GlobalInterval)),
+		cache.F("proto.2l.global_write", dur(cfg.Protocol.TwoLevel.GlobalWrite)),
+		cache.F("proto.2l.ctl_bytes", i64(cfg.Protocol.TwoLevel.CtlBytes)),
+		cache.F("proto.2l.local_bytes", i64(cfg.Protocol.TwoLevel.LocalBytes)),
+		cache.F("proto.2l.global_bytes", i64(cfg.Protocol.TwoLevel.GlobalBytes)),
+	}
+	if cfg.Noise != nil {
+		fields = append(fields,
+			cache.F("noise.period", dur(cfg.Noise.Period)),
+			cache.F("noise.duration", dur(cfg.Noise.Duration)),
+			cache.F("noise.poisson", strconv.FormatBool(cfg.Noise.Poisson)),
+		)
+	}
+	if cfg.Failures != nil {
+		fields = append(fields,
+			cache.F("fail.mtbf", dur(cfg.Failures.MTBF)),
+			cache.F("fail.shape", f64(cfg.Failures.Shape)),
+			cache.F("fail.restart", dur(cfg.Failures.Restart)),
+			cache.F("fail.replay_speedup", f64(cfg.Failures.ReplaySpeedup)),
+			cache.F("fail.kind", strconv.Itoa(int(cfg.Failures.Kind))),
+			cache.F("fail.local_coverage", f64(cfg.Failures.LocalCoverage)),
+			cache.F("fail.local_restart", dur(cfg.Failures.LocalRestart)),
+		)
+	}
+	return fields
 }
 
 // Workloads returns the names accepted by RunConfig.Workload.

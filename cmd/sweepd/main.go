@@ -1,0 +1,141 @@
+// Command sweepd serves the reproduction experiments (E1–E17) as a
+// long-running HTTP service: sweep jobs over a bounded queue and worker
+// pool, fronted by a content-addressed result cache so identical requests
+// — the dominant pattern in parameter-sweep studies — simulate once and
+// hit forever after. See README.md "Running as a service" for the
+// endpoint reference and DESIGN.md §22 for the cache and backpressure
+// model.
+//
+// Usage:
+//
+//	sweepd -addr :8080                     # serve with defaults
+//	sweepd -workers 4 -queue 128           # more concurrency, deeper queue
+//	sweepd -cache-mb 512 -timeout 5m       # bigger cache, shorter job leash
+//
+//	curl -s localhost:8080/api/v1/run -d '{"exp":"E1","quick":true}'
+//	curl -s localhost:8080/api/v1/jobs -d '{"exp":"E8"}'    # async
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain gracefully: submissions get 503, queued jobs are
+// rejected, running jobs finish (up to -drain-grace), then the listener
+// shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"syscall"
+	"time"
+
+	"checkpointsim/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until a shutdown signal. ready, when
+// non-nil, receives the bound address once the listener is up (tests use
+// it to avoid port races).
+func run(args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("sweepd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 2, "concurrent jobs (each fans its sweep across -jobs cores)")
+		jobsPerRun = fs.Int("jobs", 0, "sweep worker pool per job (0 = all cores)")
+		queue      = fs.Int("queue", 64, "job queue capacity; a full queue answers 429 + Retry-After")
+		cacheMB    = fs.Int64("cache-mb", 256, "result cache budget in MiB (0 disables caching)")
+		timeout    = fs.Duration("timeout", 10*time.Minute, "default and maximum per-job runtime")
+		drainGrace = fs.Duration("drain-grace", 30*time.Second, "how long a shutdown signal waits for running jobs")
+		version    = fs.String("version", "", "cache-key code version tag (default: VCS revision from build info, else \"dev\")")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cacheBytes := *cacheMB << 20
+	if *cacheMB == 0 {
+		cacheBytes = -1 // Config treats 0 as "default"; negative disables
+	}
+	srv := service.New(service.Config{
+		Queue:      *queue,
+		Workers:    *workers,
+		JobsPerRun: *jobsPerRun,
+		CacheBytes: cacheBytes,
+		Timeout:    *timeout,
+		Version:    resolveVersion(*version),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	logger := log.New(out, "sweepd: ", log.LstdFlags)
+	logger.Printf("serving on %s (workers=%d queue=%d cache=%dMiB timeout=%s)",
+		ln.Addr(), *workers, *queue, *cacheMB, *timeout)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case got := <-sig:
+		logger.Printf("received %s, draining (grace %s)", got, *drainGrace)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Printf("drain incomplete: %v (running jobs cancelled)", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	cs := srv.CacheStats()
+	logger.Printf("drained: cache %d entries / %d bytes, %d hits / %d misses / %d shared",
+		cs.Entries, cs.Bytes, cs.Hits, cs.Misses, cs.Shared)
+	return nil
+}
+
+// resolveVersion picks the cache-key code-version tag: an explicit flag
+// wins; otherwise the VCS revision baked into the build (so a rebuild from
+// different sources invalidates cached results); "dev" as a last resort.
+func resolveVersion(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" {
+				return kv.Value
+			}
+		}
+	}
+	return "dev"
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// End-to-end through main's run(): bind an ephemeral port, serve a sweep
+// twice (second must be a cache hit with identical bytes), scrape
+// /metrics, then SIGTERM and expect a clean drain.
+func TestRunServesAndDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a server and runs a quick experiment")
+	}
+	ready := make(chan string, 1)
+	var out bytes.Buffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-version", "test"}, &out, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	post := func() (string, []byte) {
+		resp, err := http.Post(base+"/api/v1/run", "application/json",
+			strings.NewReader(`{"exp":"E1","quick":true}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run status %d: %s", resp.StatusCode, body)
+		}
+		return resp.Header.Get("X-Sweepd-Source"), body
+	}
+	src1, body1 := post()
+	src2, body2 := post()
+	if src1 != "computed" || src2 != "hit" {
+		t.Errorf("sources = %q, %q; want computed then hit", src1, src2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("cached response bytes differ from fresh run")
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"sweepd_cache_hits_total 1", "sweepd_cache_misses_total 1", "sweepd_up 1"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("drain summary missing from log:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-addr"}, io.Discard, nil); err == nil {
+		t.Error("dangling -addr accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:bad"}, io.Discard, nil); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+func TestResolveVersion(t *testing.T) {
+	if got := resolveVersion("pinned"); got != "pinned" {
+		t.Errorf("explicit version ignored: %q", got)
+	}
+	if got := resolveVersion(""); got == "" {
+		t.Error("empty resolved version")
+	}
+}

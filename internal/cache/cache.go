@@ -1,0 +1,197 @@
+package cache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Source says how GetOrCompute satisfied a request.
+type Source int
+
+const (
+	// Computed: this caller ran fn and (budget permitting) filled the cache.
+	Computed Source = iota
+	// Hit: the value was already cached.
+	Hit
+	// Shared: another caller was already computing the same key; this one
+	// waited and received the same result without running fn.
+	Shared
+)
+
+// String names the source for logs and metrics labels.
+func (s Source) String() string {
+	switch s {
+	case Computed:
+		return "computed"
+	case Hit:
+		return "hit"
+	case Shared:
+		return "shared"
+	}
+	return "unknown"
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      int64 // GetOrCompute served from the cache
+	Misses    int64 // GetOrCompute ran fn (one per singleflight group)
+	Shared    int64 // GetOrCompute waited on a concurrent identical compute
+	Evictions int64 // entries dropped to fit the byte budget
+	Rejected  int64 // values larger than the whole budget, never admitted
+	Entries   int   // live entries
+	Bytes     int64 // live payload bytes
+	Budget    int64 // configured byte budget
+}
+
+// Cache is a content-addressed byte cache with LRU eviction under a byte
+// budget and singleflight deduplication of concurrent computes. The zero
+// value is not usable; construct with New. All methods are safe for
+// concurrent use.
+//
+// Values are stored and returned by reference: callers must treat returned
+// slices as immutable. The service layer only ever serializes them onto
+// the wire, which keeps entries shareable across hits without copies.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	calls   map[string]*call
+	stats   Stats
+}
+
+// entry is one resident value; list elements carry it through the LRU.
+type entry struct {
+	key string
+	val []byte
+}
+
+// call is one in-flight computation that any number of followers wait on.
+type call struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// New creates a cache holding at most budget payload bytes (a non-positive
+// budget admits nothing: every request computes, nothing is retained —
+// useful for disabling caching without changing call sites).
+func New(budget int64) *Cache {
+	if budget < 0 {
+		budget = 0
+	}
+	return &Cache{
+		budget:  budget,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+		calls:   make(map[string]*call),
+	}
+}
+
+// Get returns the cached value for key, if resident, and marks it
+// recently used. It never joins an in-flight compute.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// GetOrCompute returns the value for key, running fn at most once across
+// all concurrent callers of the same key. A resident value is returned
+// immediately (Hit). Otherwise the first caller becomes the leader and
+// runs fn; concurrent callers for the same key block and share the
+// leader's result (Shared) — success or error — without running fn.
+// Successful results are admitted to the cache under the byte budget;
+// errors are never cached, so a failed key recomputes on the next request.
+//
+// ctx cancels waiting, not computing: a follower whose ctx dies returns
+// ctx.Err() while the leader's fn runs on. fn receives the leader's ctx
+// unchanged — cancellation of the computation itself is fn's business
+// (internal/exp threads it into the sweep worker pool).
+func (c *Cache) GetOrCompute(ctx context.Context, key string, fn func(ctx context.Context) ([]byte, error)) ([]byte, Source, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, Hit, nil
+	}
+	if cl, ok := c.calls[key]; ok {
+		c.stats.Shared++
+		c.mu.Unlock()
+		select {
+		case <-cl.done:
+			return cl.val, Shared, cl.err
+		case <-ctx.Done():
+			return nil, Shared, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.calls[key] = cl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	cl.val, cl.err = fn(ctx)
+	close(cl.done)
+
+	c.mu.Lock()
+	delete(c.calls, key)
+	if cl.err == nil {
+		c.admit(key, cl.val)
+	}
+	c.mu.Unlock()
+	return cl.val, Computed, cl.err
+}
+
+// admit inserts a computed value, evicting from the cold end until the
+// budget holds. Values larger than the entire budget are rejected rather
+// than flushing everything else for a single unpinnable entry. Callers
+// hold c.mu.
+func (c *Cache) admit(key string, val []byte) {
+	size := int64(len(val))
+	if size > c.budget {
+		c.stats.Rejected++
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		// A racing leader for the same key already landed (possible when a
+		// failed compute releases the singleflight slot before retry):
+		// refresh in place.
+		c.bytes += size - int64(len(el.Value.(*entry).val))
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(&entry{key: key, val: val})
+		c.bytes += size
+	}
+	for c.bytes > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.val))
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.Bytes = c.bytes
+	s.Budget = c.budget
+	return s
+}

@@ -1,0 +1,76 @@
+package cache
+
+import (
+	"sort"
+	"testing"
+)
+
+// sortedCopy returns the multiset-normal form used to decide whether two
+// field sets are "the same configuration".
+func sortedCopy(fs []Field) []Field {
+	out := append([]Field(nil), fs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+func sameMultiset(a, b []Field) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := sortedCopy(a), sortedCopy(b)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzCacheKey drives the two guarantees the content-addressed cache rests
+// on, with adversarial names and values (empty strings, separators, digits
+// that mimic the length prefixes):
+//
+//  1. Stability under field reordering — a config assembled in any order
+//     canonicalizes identically.
+//  2. Injectivity — distinct configs (as multisets of fields) never share
+//     a canonical form or a key.
+func FuzzCacheKey(f *testing.F) {
+	f.Add("exp", "E1", "seed", "42", "exp", "E1", "seed", "43")
+	f.Add("ab", "c", "", "", "a", "bc", "", "")
+	f.Add("a", "b;2:cd", "", "", "a", "b", "cd", "")
+	f.Add("k", "1:v", "2:k", "v", "k", "1", ":v2:kv", "")
+	f.Fuzz(func(t *testing.T, n1, v1, n2, v2, n3, v3, n4, v4 string) {
+		setA := []Field{F(n1, v1), F(n2, v2)}
+		setB := []Field{F(n3, v3), F(n4, v4)}
+
+		// Reordering stability, canonical form and key alike.
+		if Canonical(setA) != Canonical([]Field{F(n2, v2), F(n1, v1)}) {
+			t.Fatalf("canonical form depends on field order for %q", setA)
+		}
+		if Key("v", setA) != Key("v", []Field{F(n2, v2), F(n1, v1)}) {
+			t.Fatalf("key depends on field order for %q", setA)
+		}
+
+		// Injectivity across the two fuzzed sets.
+		same := sameMultiset(setA, setB)
+		canonEqual := Canonical(setA) == Canonical(setB)
+		if same != canonEqual {
+			t.Fatalf("canonical collision: sameMultiset=%v canonEqual=%v\nA=%q\nB=%q",
+				same, canonEqual, setA, setB)
+		}
+		if keyEqual := Key("v", setA) == Key("v", setB); same != keyEqual {
+			t.Fatalf("key collision: sameMultiset=%v keyEqual=%v\nA=%q\nB=%q",
+				same, keyEqual, setA, setB)
+		}
+
+		// Growing a set strictly changes it (multiset semantics).
+		if Canonical(setA) == Canonical(append(sortedCopy(setA), F(n1, v1))) {
+			t.Fatalf("duplicate field aliased away for %q", setA)
+		}
+	})
+}

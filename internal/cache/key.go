@@ -1,0 +1,80 @@
+// Package cache provides the content-addressed result cache behind
+// cmd/sweepd: sweep outcomes keyed by a canonical hash of the
+// fully-resolved configuration, held under an LRU byte budget, with
+// singleflight deduplication so concurrent identical requests compute
+// once.
+//
+// The key side is deliberately generic: a configuration is a flat set of
+// (name, value) fields, canonicalized independently of the order the
+// caller assembled them in and hashed together with a code-version tag.
+// internal/exp owns the mapping from experiment Options to fields (it
+// knows which knobs change results and which — worker count, telemetry
+// hooks — provably do not); this package owns the guarantee that distinct
+// field sets can never collide into one canonical form.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Field is one named configuration value contributing to a cache key.
+// Values are pre-rendered strings: the caller formats each knob exactly
+// once (floats via strconv 'g' with full precision, durations as integer
+// nanoseconds, and so on), so two configs share a key exactly when every
+// rendered field matches.
+type Field struct {
+	Name, Value string
+}
+
+// F is a shorthand Field constructor.
+func F(name, value string) Field { return Field{Name: name, Value: value} }
+
+// Canonical renders a field set into its canonical encoding: fields sorted
+// by (name, value), each name and value length-prefixed. The
+// length-prefixing makes the encoding injective — no choice of names and
+// values can make two distinct field sets render identically, because
+// every byte of every field is attributed unambiguously — and the sort
+// makes it independent of assembly order. Duplicate fields are preserved
+// (a multiset encoding), so accidentally emitting a field twice changes
+// the key rather than silently aliasing.
+func Canonical(fields []Field) string {
+	sorted := append([]Field(nil), fields...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Name != sorted[j].Name {
+			return sorted[i].Name < sorted[j].Name
+		}
+		return sorted[i].Value < sorted[j].Value
+	})
+	var sb strings.Builder
+	for _, f := range sorted {
+		sb.WriteString(strconv.Itoa(len(f.Name)))
+		sb.WriteByte(':')
+		sb.WriteString(f.Name)
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Itoa(len(f.Value)))
+		sb.WriteByte(':')
+		sb.WriteString(f.Value)
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// Key hashes a code-version tag and a field set into the content address
+// used by the cache: hex SHA-256 over the length-prefixed version followed
+// by the canonical field encoding. The version tag exists because results
+// are a function of the simulator build, not just its knobs — bumping it
+// (cmd/sweepd derives it from the module build info) invalidates every
+// entry cached by older code without touching the field canonicalization.
+func Key(version string, fields []Field) string {
+	h := sha256.New()
+	h.Write([]byte(strconv.Itoa(len(version))))
+	h.Write([]byte(":"))
+	h.Write([]byte(version))
+	h.Write([]byte("|"))
+	h.Write([]byte(Canonical(fields)))
+	return hex.EncodeToString(h.Sum(nil))
+}

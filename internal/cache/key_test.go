@@ -1,0 +1,48 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalOrderIndependent(t *testing.T) {
+	a := Canonical([]Field{F("seed", "42"), F("exp", "E1"), F("quick", "true")})
+	b := Canonical([]Field{F("quick", "true"), F("seed", "42"), F("exp", "E1")})
+	if a != b {
+		t.Fatalf("field order leaked into canonical form:\n%q\n%q", a, b)
+	}
+}
+
+// The classic concatenation ambiguities must not collide: splitting a name
+// across the name/value boundary, merging two fields into one, or moving a
+// character between adjacent fields all change the canonical form.
+func TestCanonicalInjectivityCorners(t *testing.T) {
+	cases := [][2][]Field{
+		{{F("ab", "c")}, {F("a", "bc")}},
+		{{F("a", "b;2:cd")}, {F("a", "b"), F("cd", "")}},
+		{{F("a", "1"), F("b", "2")}, {F("a", "12"), F("b", "")}},
+		{{F("x", "")}, {F("", "x")}},
+		{{F("k", "v")}, {F("k", "v"), F("k", "v")}}, // multiset: duplicates count
+		{{F("k", "v")}, {}},
+	}
+	for i, c := range cases {
+		if Canonical(c[0]) == Canonical(c[1]) {
+			t.Errorf("case %d: distinct field sets share a canonical form %q", i, Canonical(c[0]))
+		}
+	}
+}
+
+func TestKeyVersionSeparation(t *testing.T) {
+	fields := []Field{F("exp", "E1"), F("seed", "42")}
+	if Key("v1", fields) == Key("v2", fields) {
+		t.Error("code version does not partition the key space")
+	}
+	// Version/field boundary must be unambiguous too.
+	if Key("v", []Field{F("a", "b")}) == Key("", []Field{F("va", "b")}) {
+		t.Error("version bytes alias into field bytes")
+	}
+	k := Key("v1", fields)
+	if len(k) != 64 || strings.ToLower(k) != k {
+		t.Errorf("key %q is not lowercase hex sha256", k)
+	}
+}

@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"checkpointsim/internal/cache"
+	"checkpointsim/internal/network"
+	"checkpointsim/internal/storage"
+)
+
+func keyOf(id string, o Options) string { return cache.Key("test", o.CacheFields(id)) }
+
+// Every knob that can change a completed run's rows must move the key.
+func TestCacheFieldsCoverResultKnobs(t *testing.T) {
+	base := DefaultOptions()
+	mutations := map[string]func(*Options){
+		"seed":              func(o *Options) { o.Seed = 43 },
+		"quick":             func(o *Options) { o.Quick = true },
+		"validate":          func(o *Options) { o.Validate = true },
+		"net preset":        func(o *Options) { o.Net = network.EthernetClassParams() },
+		"net latency":       func(o *Options) { o.Net = base.Net; o.Net.Latency++ },
+		"net gap/byte":      func(o *Options) { o.Net = base.Net; o.Net.GapPerByte *= 2 },
+		"net bisection":     func(o *Options) { o.Net = base.Net; o.Net.BisectionBytesPerSec = 1e9 },
+		"storage aggregate": func(o *Options) { o.Storage.AggregateBytesPerSec = 1e9 },
+		"storage writer":    func(o *Options) { o.Storage.PerWriterBytesPerSec = 1e9 },
+		"storage node":      func(o *Options) { o.Storage.NodeBytesPerSec = 1e9 },
+		"storage ranks":     func(o *Options) { o.Storage.RanksPerNode = 4 },
+	}
+	ref := keyOf("E1", base)
+	for name, mutate := range mutations {
+		o := base
+		mutate(&o)
+		if keyOf("E1", o) == ref {
+			t.Errorf("mutating %s did not change the cache key", name)
+		}
+	}
+	if keyOf("E2", base) == ref {
+		t.Error("experiment id does not partition the key space")
+	}
+}
+
+// Knobs that provably cannot change rows must not fragment the key space:
+// worker count (determinism guarantee), telemetry, and cancellation.
+func TestCacheFieldsIgnoreExecutionKnobs(t *testing.T) {
+	base := DefaultOptions()
+	ref := keyOf("E1", base)
+
+	var events int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o := base
+	o.Jobs = 7
+	o.Events = &events
+	o.Ctx = ctx
+	if keyOf("E1", o) != ref {
+		t.Error("Jobs/Events/Ctx leaked into the cache key; identical configs at different parallelism would miss")
+	}
+}
+
+// Net is addressed as resolved: the zero value and an explicit
+// DefaultParams() run identically, so they must hit the same entry.
+func TestCacheFieldsResolveNetDefault(t *testing.T) {
+	zero := Options{Seed: 42}
+	explicit := Options{Seed: 42, Net: network.DefaultParams()}
+	if keyOf("E1", zero) != keyOf("E1", explicit) {
+		t.Error("zero Net and DefaultParams() produce different keys for identical runs")
+	}
+}
+
+// The storage zero value (legacy fixed-duration path) must key differently
+// from any constrained store.
+func TestCacheFieldsStorageZeroDistinct(t *testing.T) {
+	base := DefaultOptions()
+	constrained := base
+	constrained.Storage = storage.Params{AggregateBytesPerSec: 64e9}
+	if keyOf("E17", base) == keyOf("E17", constrained) {
+		t.Error("constrained and unconstrained storage share a key")
+	}
+}
+
+// A dead context aborts an experiment before any sweep point runs, and the
+// error is the context's.
+func TestExperimentContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := DefaultOptions()
+	o.Quick = true
+	o.Ctx = ctx
+	var events int64
+	o.Events = &events
+	_, err := E1Validation(o)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if events != 0 {
+		t.Errorf("%d simulation events ran under a dead context", events)
+	}
+}
+
+// A timeout that expires mid-sweep surfaces context.DeadlineExceeded: the
+// worker pool stops dequeuing points rather than running the sweep out.
+func TestExperimentContextTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick experiment")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	o := DefaultOptions()
+	o.Quick = true
+	o.Ctx = ctx
+	if _, err := E8Crossover(o); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

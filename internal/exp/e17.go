@@ -75,7 +75,7 @@ func e17Grid(o Options) ([][]e17Cell, error) {
 		}
 	}
 
-	return runner.Map(o.Jobs, points, func(i int, pt point) ([]e17Cell, error) {
+	return runner.MapCtx(o.ctx(), o.Jobs, points, func(i int, pt point) ([]e17Cell, error) {
 		sd := pointSeed(o, "E17", i)
 		mkStore := func() (*storage.Store, error) {
 			sp := o.Storage

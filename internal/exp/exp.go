@@ -12,9 +12,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 
+	"checkpointsim/internal/cache"
 	"checkpointsim/internal/goal"
 	"checkpointsim/internal/network"
 	"checkpointsim/internal/report"
@@ -62,6 +65,22 @@ type Options struct {
 	// every run the experiment performs (atomically — sweep points run on
 	// parallel workers). cmd/bench uses it to report events/sec.
 	Events *int64
+	// Ctx, when non-nil, cancels the experiment cooperatively: once it is
+	// done, the sweep worker pool stops dequeuing points and the experiment
+	// returns Ctx.Err(). Points already in flight run to completion, so
+	// cancellation never yields a half-executed point — it yields no result
+	// at all. cmd/sweepd threads per-request timeouts and client
+	// disconnects through here. Like Jobs and Events, Ctx can never change
+	// the rows of a completed run, only whether the run completes.
+	Ctx context.Context
+}
+
+// ctx returns the run's context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 // DefaultOptions returns the options the full reproduction uses.
@@ -212,7 +231,7 @@ func (rs *rows) add(cells ...any) { *rs = append(*rs, row(cells)) }
 // identical at any parallelism. fn must be self-contained: anything random
 // it does should key off pointSeed(o, id, i).
 func sweep[P any](t *report.Table, o Options, id string, points []P, fn func(i int, p P) (rows, error)) error {
-	out, err := runner.Map(o.Jobs, points, fn)
+	out, err := runner.MapCtx(o.ctx(), o.Jobs, points, fn)
 	if err != nil {
 		return errf(id, err)
 	}
@@ -234,6 +253,44 @@ func pointSeed(o Options, id string, i int) uint64 {
 		h = (h ^ uint64(c)) * 1099511628211
 	}
 	return rng.Derive(o.Seed, h, uint64(i))
+}
+
+// CacheFields renders the result-determining configuration of experiment
+// id under these options as a flat field set for content addressing
+// (cache.Key). The contract is exactness in both directions:
+//
+//   - Every knob that can change a completed run's tables is included,
+//     with Net resolved through the same default the run itself uses — two
+//     option values that produce different rows must produce different
+//     fields.
+//   - Nothing else is: Jobs (determinism guarantee: tables are
+//     bit-identical at any worker count), Events (telemetry), and Ctx
+//     (cancellation) are deliberately absent, so a re-request at different
+//     parallelism or timeout still hits.
+//
+// Validate is included even though it adds no rows: a validated run can
+// fail where an unvalidated one succeeds, and a cache must not launder a
+// result across that distinction.
+func (o Options) CacheFields(id string) []cache.Field {
+	net := o.net()
+	f64 := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return []cache.Field{
+		cache.F("exp", id),
+		cache.F("seed", strconv.FormatUint(o.Seed, 10)),
+		cache.F("quick", strconv.FormatBool(o.Quick)),
+		cache.F("validate", strconv.FormatBool(o.Validate)),
+		cache.F("net.latency", strconv.FormatInt(int64(net.Latency), 10)),
+		cache.F("net.overhead", strconv.FormatInt(int64(net.Overhead), 10)),
+		cache.F("net.gap", strconv.FormatInt(int64(net.Gap), 10)),
+		cache.F("net.gap_per_byte", f64(net.GapPerByte)),
+		cache.F("net.overhead_per_byte", f64(net.OverheadPerByte)),
+		cache.F("net.rendezvous", strconv.FormatInt(net.RendezvousThreshold, 10)),
+		cache.F("net.bisection_bps", f64(net.BisectionBytesPerSec)),
+		cache.F("storage.aggregate_bps", f64(o.Storage.AggregateBytesPerSec)),
+		cache.F("storage.per_writer_bps", f64(o.Storage.PerWriterBytesPerSec)),
+		cache.F("storage.node_bps", f64(o.Storage.NodeBytesPerSec)),
+		cache.F("storage.ranks_per_node", strconv.Itoa(o.Storage.RanksPerNode)),
+	}
 }
 
 // ms is a shorthand constructor.

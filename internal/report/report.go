@@ -45,6 +45,17 @@ func (t *Table) AddRow(cells ...any) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Rows returns the formatted cells of every data row, in order. The outer
+// slice is fresh, the inner slices are the table's own (callers must not
+// mutate them). cmd/sweepd uses this to serialize tables into its result
+// cache; re-adding the returned strings through AddRow reproduces the
+// table byte-for-byte, because Cell is the identity on strings.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
 // Cell formats one value: floats get four significant digits, NaN prints
 // as "-", everything else uses %v.
 func Cell(v any) string {

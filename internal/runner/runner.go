@@ -8,6 +8,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -28,9 +29,19 @@ import (
 // an error carrying the point index and stack, so one poisoned point
 // cannot take down the whole sweep silently.
 func Map[P, R any](workers int, points []P, fn func(i int, p P) (R, error)) ([]R, error) {
+	return MapCtx(context.Background(), workers, points, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, workers
+// stop dequeuing new points and MapCtx returns ctx.Err(). Points already in
+// flight run to completion (fn is never interrupted mid-point), so a
+// cancelled sweep leaves no half-executed point behind — it simply returns
+// before covering every index. Cancellation takes precedence over point
+// errors in the return value; either way the partial results are discarded.
+func MapCtx[P, R any](ctx context.Context, workers int, points []P, fn func(i int, p P) (R, error)) ([]R, error) {
 	n := len(points)
 	if n == 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -43,12 +54,18 @@ func Map[P, R any](workers int, points []P, fn func(i int, p P) (R, error)) ([]R
 	errs := make([]error, n)
 	var next atomic.Int64
 	var failed atomic.Bool
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
@@ -62,6 +79,9 @@ func Map[P, R any](workers int, points []P, fn func(i int, p P) (R, error)) ([]R
 	}
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

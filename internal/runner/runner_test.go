@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -100,6 +101,72 @@ func TestPanicRecovery(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error %q missing %q", err, want)
 		}
+	}
+}
+
+// A context cancelled mid-sweep stops workers from dequeuing further
+// points, returns ctx.Err(), and never interrupts a point in flight: the
+// number of executed points lands strictly between the trigger and the full
+// sweep.
+func TestMapCtxCancellation(t *testing.T) {
+	const n = 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	_, err := MapCtx(ctx, 4, make([]struct{}, n), func(i int, _ struct{}) (int, error) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	got := ran.Load()
+	if got < 10 || got >= n {
+		t.Errorf("ran %d points, want >= 10 (trigger) and < %d (cancelled early)", got, n)
+	}
+}
+
+// A context that is already done yields no work at all.
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	_, err := MapCtx(ctx, 4, make([]struct{}, 64), func(i int, _ struct{}) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Errorf("ran %d points on a dead context, want 0", got)
+	}
+}
+
+// Cancellation wins over a point error: the caller asked to stop, and that
+// intent — not whichever point happened to fail first — names the outcome.
+func TestMapCtxCancellationBeatsPointError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := MapCtx(ctx, 2, make([]struct{}, 16), func(i int, _ struct{}) (int, error) {
+		if i == 0 {
+			cancel()
+			return 0, errors.New("point error")
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// MapCtx on an empty slice still reports a dead context, so callers polling
+// a cancelled sweep never mistake it for success.
+func TestMapCtxEmptyDeadContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MapCtx(ctx, 4, nil, func(i int, _ struct{}) (int, error) { return 0, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

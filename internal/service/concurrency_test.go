@@ -1,0 +1,199 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// N goroutines racing on the same sweep point must trigger exactly one
+// simulation: one request computes, the rest share or hit. Verified by the
+// simulation-event counter — duplicate runs would double it — plus
+// byte-identical bodies and a single "computed" source.
+func TestConcurrentIdenticalRequestsSimulateOnce(t *testing.T) {
+	// Baseline: how many simulation events does one fresh run cost?
+	ref, refTS := newTestServer(t, Config{})
+	resp := postJSON(t, refTS.URL+"/api/v1/run", `{"exp":"E1","quick":true,"seed":7}`)
+	refBody := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline run: %d %s", resp.StatusCode, refBody)
+	}
+	singleRun := ref.SimEvents()
+	if singleRun <= 0 {
+		t.Fatalf("baseline run recorded %d simulation events", singleRun)
+	}
+
+	// Race N identical requests against a fresh server.
+	s, ts := newTestServer(t, Config{Workers: 4})
+	const n = 16
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		bodies  [][]byte
+		sources []string
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/api/v1/run", "application/json",
+				strings.NewReader(`{"exp":"E1","quick":true,"seed":7}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body := readBody(t, resp)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("racing run: %d %s", resp.StatusCode, body)
+				return
+			}
+			mu.Lock()
+			bodies = append(bodies, body)
+			sources = append(sources, resp.Header.Get("X-Sweepd-Source"))
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	if got := s.SimEvents(); got != singleRun {
+		t.Errorf("%d racing requests cost %d simulation events, want exactly one run's %d",
+			n, got, singleRun)
+	}
+	if len(bodies) != n {
+		t.Fatalf("%d responses, want %d", len(bodies), n)
+	}
+	computed := 0
+	for i, b := range bodies {
+		if !bytes.Equal(b, refBody) {
+			t.Errorf("response %d differs from the fresh-run bytes", i)
+		}
+		if sources[i] == "computed" {
+			computed++
+		}
+	}
+	if computed != 1 {
+		t.Errorf("%d responses claim source=computed (%v), want exactly 1", computed, sources)
+	}
+}
+
+// Graceful shutdown: the in-flight job completes, the queued backlog is
+// rejected without running, and no new events are simulated for the
+// rejected jobs.
+func TestDrainCompletesInFlightRejectsQueued(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Queue: 4})
+
+	submit := func(body string) submitResponse {
+		resp := postJSON(t, ts.URL+"/api/v1/jobs", body)
+		raw := readBody(t, resp)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: %d %s", body, resp.StatusCode, raw)
+		}
+		var sub submitResponse
+		if err := json.Unmarshal(raw, &sub); err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+
+	// Job A holds the lone worker (full-scale E5 runs for over a second,
+	// long enough that the drain below reliably begins while it is still
+	// running); B and C wait in the queue behind it.
+	a := submit(`{"exp":"E5","seed":201}`)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/api/v1/jobs/" + a.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := decodeStatus(t, readBody(t, resp)); st.State == StateRunning || st.State.terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job A never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	b := submit(`{"exp":"E1","quick":true,"seed":202}`)
+	c := submit(`{"exp":"E1","quick":true,"seed":203}`)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	stA := waitTerminal(t, ts.URL, a.ID, 5*time.Second)
+	if stA.State != StateDone {
+		t.Errorf("in-flight job A ended %s (%s), want done", stA.State, stA.Error)
+	}
+	for _, sub := range []submitResponse{b, c} {
+		st := waitTerminal(t, ts.URL, sub.ID, time.Second)
+		if st.State != StateRejected {
+			t.Errorf("queued job %s ended %s, want rejected", sub.ID, st.State)
+		}
+	}
+
+	// A's result stays fetchable after the drain; rejected jobs have none.
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + a.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("result of completed job after drain: %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + b.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("result of rejected job: %d, want 409", resp.StatusCode)
+	}
+}
+
+// Drain with an expired context cancels whatever is still running instead
+// of hanging, and reports the context error.
+func TestDrainDeadlineCancelsRunning(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	// A full-scale E2 runs for several seconds — far past the drain grace.
+	resp := postJSON(t, ts.URL+"/api/v1/jobs", `{"exp":"E2","seed":204}`)
+	var sub submitResponse
+	if err := json.Unmarshal(readBody(t, resp), &sub); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/api/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := decodeStatus(t, readBody(t, r)); st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Drain(drainCtx)
+	if err == nil {
+		t.Fatal("drain with expired grace returned nil, want context error")
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("drain took %s despite a 50ms grace", took)
+	}
+	st := waitTerminal(t, ts.URL, sub.ID, 10*time.Second)
+	if st.State != StateFailed {
+		t.Errorf("cut-loose job ended %s, want failed", st.State)
+	}
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+
+	"checkpointsim/internal/exp"
+	"checkpointsim/internal/network"
+)
+
+// The cache-hit-equals-fresh-run property, end to end, for every
+// experiment: a direct in-process run, the server's cold (computed)
+// response, and the server's warm (cached) response must all be
+// byte-identical. Quick scale keeps all 17 affordable under -race.
+func TestCachedResultMatchesFreshRunAllExperiments(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	for _, e := range exp.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+
+			// Ground truth: run the experiment in-process with exactly the
+			// options the server resolves for this request body.
+			o := exp.DefaultOptions()
+			o.Seed = 7
+			o.Quick = true
+			o.Net = network.DefaultParams()
+			tables, err := e.Run(o)
+			if err != nil {
+				t.Fatalf("local run: %v", err)
+			}
+			want, err := encodeResult(e, tables)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			body := `{"exp":"` + e.ID + `","quick":true,"seed":7}`
+			post := func(label string) (string, []byte) {
+				resp, err := http.Post(ts.URL+"/api/v1/run", "application/json",
+					strings.NewReader(body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := readBody(t, resp)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%s run: %d %s", label, resp.StatusCode, got)
+				}
+				return resp.Header.Get("X-Sweepd-Source"), got
+			}
+
+			coldSrc, cold := post("cold")
+			warmSrc, warm := post("warm")
+			if coldSrc != "computed" {
+				t.Errorf("cold source %q, want computed", coldSrc)
+			}
+			if warmSrc != "hit" {
+				t.Errorf("warm source %q, want hit", warmSrc)
+			}
+			if !bytes.Equal(cold, want) {
+				t.Errorf("server cold response differs from in-process run\nserver: %.200s\nlocal:  %.200s", cold, want)
+			}
+			if !bytes.Equal(warm, cold) {
+				t.Error("cached response differs from computed response")
+			}
+
+			// The text rendering of the cached result matches what cmd/sweep
+			// would print for this experiment (header + aligned tables).
+			res, err := decodeResult(warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb bytes.Buffer
+			sb.WriteString("### " + e.ID + " — " + e.Title + "\n")
+			for _, tbl := range tables {
+				tbl.Fprint(&sb)
+				sb.WriteByte('\n')
+			}
+			if res.Text() != sb.String() {
+				t.Error("reconstructed text rendering differs from direct table rendering")
+			}
+		})
+	}
+}
+
+// Distinct configurations must miss the cache even when the experiment is
+// the same: seed, scale, preset, and validation all partition the key
+// space. (The injectivity of the key itself is fuzz-tested in
+// internal/cache; this checks the service wires the knobs through.)
+func TestDistinctConfigsDoNotShareCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	bodies := []string{
+		`{"exp":"E1","quick":true,"seed":7}`,
+		`{"exp":"E1","quick":true,"seed":8}`,
+		`{"exp":"E1","quick":true,"seed":7,"net":"ethernet"}`,
+		`{"exp":"E1","quick":true,"seed":7,"validate":true}`,
+		`{"exp":"E1","quick":true,"seed":7,"storage":{"aggregate_gbps":500}}`,
+	}
+	for _, body := range bodies {
+		resp := postJSON(t, ts.URL+"/api/v1/run", body)
+		raw := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d %s", body, resp.StatusCode, raw)
+		}
+		if src := resp.Header.Get("X-Sweepd-Source"); src != "computed" {
+			t.Errorf("%s: source %q, want computed (a distinct config hit the cache)", body, src)
+		}
+	}
+	cs := s.CacheStats()
+	if cs.Hits != 0 || cs.Misses != int64(len(bodies)) || cs.Entries != len(bodies) {
+		t.Errorf("cache stats %+v after %d distinct configs, want 0 hits / %d misses / %d entries",
+			cs, len(bodies), len(bodies), len(bodies))
+	}
+}
+
+// A server with caching disabled recomputes every request and still
+// returns identical bytes — determinism does not depend on the cache.
+func TestDisabledCacheStillDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheBytes: -1})
+	var prev []byte
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/api/v1/run", `{"exp":"E1","quick":true,"seed":7}`)
+		raw := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: %d %s", i, resp.StatusCode, raw)
+		}
+		if src := resp.Header.Get("X-Sweepd-Source"); src != "computed" {
+			t.Errorf("run %d: source %q, want computed with caching disabled", i, src)
+		}
+		if prev != nil && !bytes.Equal(raw, prev) {
+			t.Error("uncached reruns returned different bytes")
+		}
+		prev = raw
+	}
+}

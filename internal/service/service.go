@@ -1,0 +1,664 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"checkpointsim/internal/cache"
+	"checkpointsim/internal/exp"
+	"checkpointsim/internal/stats"
+)
+
+// Config tunes a Server. Zero values select the documented defaults.
+type Config struct {
+	// Queue is the bounded job-queue capacity beyond the workers
+	// themselves (default 64). A full queue sheds load: 429 + Retry-After.
+	Queue int
+	// Workers is the number of jobs executed concurrently (default 2).
+	// Each job additionally fans its sweep points across JobsPerRun cores,
+	// so total parallelism is Workers × JobsPerRun.
+	Workers int
+	// JobsPerRun is exp.Options.Jobs for each job (default 0: GOMAXPROCS).
+	JobsPerRun int
+	// CacheBytes is the result cache budget (default 256 MiB; negative
+	// disables caching, 0 selects the default).
+	CacheBytes int64
+	// Timeout is the default and maximum per-job runtime (default 10m).
+	Timeout time.Duration
+	// Version tags cache keys with the code build (default "dev"): results
+	// cached by one build are invisible to another.
+	Version string
+	// MaxJobs caps the job registry; oldest terminal jobs are pruned
+	// (default 1024).
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Minute
+	}
+	if c.Version == "" {
+		c.Version = "dev"
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Server serves experiment sweeps over HTTP. Construct with New, expose
+// with Handler, stop with Drain (graceful) or Close (immediate).
+type Server struct {
+	cfg   Config
+	cache *cache.Cache
+	reg   *registry
+	mux   *http.ServeMux
+
+	queueMu  sync.RWMutex // excludes submits while the queue closes
+	queue    chan *Job
+	draining atomic.Bool
+	workers  sync.WaitGroup
+	inFlight sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	nextID atomic.Int64
+
+	// metrics
+	reqMu      sync.Mutex
+	reqCounts  map[string]*stats.Counter // "path|code" → count
+	httpLat    *stats.LatencyHist
+	jobLat     *stats.LatencyHist
+	jobsByEnd  map[JobState]*stats.Counter
+	queueDepth stats.Gauge
+	running    stats.Gauge
+	simEvents  stats.Counter
+	started    time.Time
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      cache.New(cfg.CacheBytes),
+		reg:        newRegistry(cfg.MaxJobs),
+		queue:      make(chan *Job, cfg.Queue),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		reqCounts:  make(map[string]*stats.Counter),
+		httpLat:    stats.NewLatencyHist(1e-6, 3600, 240),
+		jobLat:     stats.NewLatencyHist(1e-6, 3600, 240),
+		jobsByEnd: map[JobState]*stats.Counter{
+			StateDone:     new(stats.Counter),
+			StateFailed:   new(stats.Counter),
+			StateRejected: new(stats.Counter),
+		},
+		started: time.Now(),
+	}
+	s.mux = s.buildMux()
+	for w := 0; w < cfg.Workers; w++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the server's HTTP handler (API, health, metrics, pprof).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the job pipeline down: new submissions get 503,
+// queued jobs are rejected, jobs already running finish (bounded by ctx —
+// when it expires remaining runs are cancelled and Drain returns its
+// error). Safe to call once; HTTP handlers stay mounted so clients can
+// still fetch results of completed jobs after the drain.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Close the queue under the write lock: submitters hold the read lock
+	// for the draining-check + send, so nobody can send on a closed chan.
+	s.queueMu.Lock()
+	close(s.queue)
+	s.queueMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait() // workers reject the queued backlog, finish running jobs
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // cut running jobs loose
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close shuts down immediately: running jobs are cancelled.
+func (s *Server) Close() {
+	s.baseCancel()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+}
+
+// submit validates, registers, and enqueues a job. jobCtx is the context
+// the run itself should inherit (the server base context for async jobs,
+// the request context for synchronous ones).
+func (s *Server) submit(jobCtx context.Context, req SweepRequest) (*Job, error) {
+	if _, _, err := req.resolve(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(jobCtx, req.timeout(s.cfg.Timeout))
+	id := "j" + strconv.FormatInt(s.nextID.Add(1), 10)
+	job := newJob(id, req, ctx, cancel)
+
+	s.queueMu.RLock()
+	defer s.queueMu.RUnlock()
+	if s.draining.Load() {
+		cancel()
+		return nil, errDraining
+	}
+	select {
+	case s.queue <- job:
+		s.queueDepth.Add(1)
+		s.reg.add(job)
+		return job, nil
+	default:
+		cancel()
+		return nil, errQueueFull
+	}
+}
+
+// worker drains the queue until Drain closes it. Jobs dequeued after the
+// drain began are rejected without running.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for job := range s.queue {
+		s.queueDepth.Add(-1)
+		if s.draining.Load() {
+			job.finish(StateRejected, nil, cache.Computed, errDraining)
+			s.jobsByEnd[StateRejected].Inc()
+			continue
+		}
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job through the cache: hit → stored bytes, miss →
+// run the experiment with the job's context threaded into the sweep
+// worker pool, concurrent identical request → wait and share.
+func (s *Server) runJob(job *Job) {
+	s.inFlight.Add(1)
+	s.running.Add(1)
+	defer func() {
+		s.running.Add(-1)
+		s.inFlight.Done()
+	}()
+	job.setRunning()
+	start := time.Now()
+
+	e, opts, err := job.Req.resolve()
+	if err != nil { // unreachable: submit resolved once already
+		job.finish(StateFailed, nil, cache.Computed, err)
+		s.jobsByEnd[StateFailed].Inc()
+		return
+	}
+	key := cache.Key(s.cfg.Version, opts.CacheFields(e.ID))
+	val, src, err := s.cache.GetOrCompute(job.ctx, key, func(ctx context.Context) ([]byte, error) {
+		var events int64
+		opts.Ctx = ctx
+		opts.Jobs = s.cfg.JobsPerRun
+		opts.Events = &events
+		tables, err := e.Run(opts)
+		s.simEvents.Add(events)
+		if err != nil {
+			return nil, err
+		}
+		return encodeResult(e, tables)
+	})
+
+	s.jobLat.Observe(time.Since(start).Seconds())
+	if err != nil {
+		job.finish(StateFailed, nil, src, err)
+		s.jobsByEnd[StateFailed].Inc()
+		return
+	}
+	job.finish(StateDone, val, src, nil)
+	s.jobsByEnd[StateDone].Inc()
+}
+
+// retryAfterSeconds estimates how long a client should back off when the
+// queue is full: one mean job duration, clamped to [1, 60] seconds.
+func (s *Server) retryAfterSeconds() int {
+	mean := s.jobLat.Mean()
+	if math.IsNaN(mean) || mean < 1 {
+		return 1
+	}
+	if mean > 60 {
+		return 60
+	}
+	return int(math.Ceil(mean))
+}
+
+// CacheStats exposes the result cache counters (tests and cmd/sweepd logs).
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// SimEvents returns the total simulation events executed by fresh runs —
+// cache hits and shared results add nothing, which is exactly what the
+// dedup tests assert.
+func (s *Server) SimEvents() int64 { return s.simEvents.Value() }
+
+// --- HTTP layer ---
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	h := func(pattern string, fn http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, fn))
+	}
+	h("GET /healthz", s.handleHealthz)
+	h("GET /metrics", s.handleMetrics)
+	h("GET /api/v1/experiments", s.handleExperiments)
+	h("POST /api/v1/jobs", s.handleSubmit)
+	h("GET /api/v1/jobs", s.handleListJobs)
+	h("GET /api/v1/jobs/{id}", s.handleJobStatus)
+	h("GET /api/v1/jobs/{id}/result", s.handleJobResult)
+	h("GET /api/v1/jobs/{id}/events", s.handleJobEvents)
+	h("POST /api/v1/run", s.handleRunSync)
+	// Profiling: the standard pprof handlers, reachable at /debug/pprof/.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// statusRecorder captures the response code for request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes (SSE) through the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument counts requests by (route, status) and observes latency.
+func (s *Server) instrument(pattern string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.httpLat.Observe(time.Since(start).Seconds())
+		key := pattern + "|" + strconv.Itoa(rec.code)
+		s.reqMu.Lock()
+		c, ok := s.reqCounts[key]
+		if !ok {
+			c = new(stats.Counter)
+			s.reqCounts[key] = c
+		}
+		s.reqMu.Unlock()
+		c.Inc()
+	})
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errorBody is the uniform error response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeSubmitError maps submit/validation errors onto status codes.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var bad *badRequestError
+	var unknown *unknownExpError
+	switch {
+	case errors.As(err, &unknown):
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+	case errors.As(err, &bad):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, errDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type expInfo struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Desc  string `json:"desc"`
+		Bench string `json:"bench"`
+	}
+	var out []expInfo
+	for _, e := range exp.All() {
+		out = append(out, expInfo{ID: e.ID, Title: e.Title, Desc: e.Desc, Bench: e.Bench})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// submitResponse is the 202 body for POST /api/v1/jobs.
+type submitResponse struct {
+	ID        string `json:"id"`
+	StatusURL string `json:"status_url"`
+	ResultURL string `json:"result_url"`
+	EventsURL string `json:"events_url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r.Body)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	job, err := s.submit(s.baseCtx, req)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID:        job.ID,
+		StatusURL: "/api/v1/jobs/" + job.ID,
+		ResultURL: "/api/v1/jobs/" + job.ID + "/result",
+		EventsURL: "/api/v1/jobs/" + job.ID + "/events",
+	})
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.list())
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.snapshot())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	raw, done := job.resultBytes()
+	if !done {
+		st := job.snapshot()
+		msg := fmt.Sprintf("job %s is %s, result not available", job.ID, st.State)
+		if st.Error != "" {
+			msg += ": " + st.Error
+		}
+		writeJSON(w, http.StatusConflict, errorBody{Error: msg})
+		return
+	}
+	s.writeResult(w, r, job, raw)
+}
+
+// writeResult serves stored result bytes in the requested format. JSON is
+// the stored bytes verbatim — the byte-identity the cache guarantees is
+// exactly what goes on the wire.
+func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, job *Job, raw []byte) {
+	st := job.snapshot()
+	w.Header().Set("X-Sweepd-Job", job.ID)
+	w.Header().Set("X-Sweepd-Source", st.Source)
+	w.Header().Set("X-Sweepd-Elapsed-Ms", strconv.FormatFloat(st.ElapsedMs, 'f', 3, 64))
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+	case "csv", "text":
+		res, err := decodeResult(raw)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if format == "csv" {
+			res.CSV(w)
+		} else {
+			fmt.Fprint(w, res.Text())
+		}
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown format %q (json|csv|text)", format)})
+	}
+}
+
+// handleJobEvents streams job state transitions as server-sent events
+// until the job is terminal or the client disconnects. Each event is
+// `event: state` with a JobStatus JSON payload; the terminal state is
+// always the last event.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(st JobStatus) {
+		payload, _ := json.Marshal(st)
+		fmt.Fprintf(w, "event: state\ndata: %s\n\n", payload)
+		flusher.Flush()
+	}
+	last := job.snapshot()
+	send(last)
+	if last.State.terminal() {
+		return
+	}
+	ticker := time.NewTicker(25 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-job.Done():
+			send(job.snapshot())
+			return
+		case <-ticker.C:
+			if st := job.snapshot(); st.State != last.State {
+				last = st
+				send(st)
+			}
+		}
+	}
+}
+
+// handleRunSync submits a job and waits for it, returning the result body
+// directly — the one-request path the CI smoke test and shell users take.
+// The run inherits the request context: a client that disconnects cancels
+// its in-flight sweep (unless a concurrent identical request shares it, in
+// which case that request's own wait decides its fate).
+func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r.Body)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	job, err := s.submit(r.Context(), req)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// Client gone; the job context (derived from the request) is
+		// cancelled with it, aborting the sweep between points.
+		return
+	}
+	st := job.snapshot()
+	raw, done := job.resultBytes()
+	if !done {
+		code := http.StatusInternalServerError
+		if st.State == StateRejected {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, errorBody{Error: fmt.Sprintf("job %s %s: %s", job.ID, st.State, st.Error)})
+		return
+	}
+	s.writeResult(w, r, job, raw)
+}
+
+// handleMetrics renders Prometheus text exposition from internal/stats
+// primitives: request/job counters, queue and flight gauges, cache
+// effectiveness, and latency quantiles.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP sweepd_up Whether the service is accepting work (0 while draining).\n")
+	p("# TYPE sweepd_up gauge\n")
+	up := 1
+	if s.draining.Load() {
+		up = 0
+	}
+	p("sweepd_up %d\n", up)
+	p("# TYPE sweepd_uptime_seconds counter\n")
+	p("sweepd_uptime_seconds %.3f\n", time.Since(s.started).Seconds())
+
+	p("# HELP sweepd_requests_total HTTP requests by route and status code.\n")
+	p("# TYPE sweepd_requests_total counter\n")
+	s.reqMu.Lock()
+	keys := make([]string, 0, len(s.reqCounts))
+	for k := range s.reqCounts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type kv struct {
+		key string
+		n   int64
+	}
+	rows := make([]kv, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, kv{k, s.reqCounts[k].Value()})
+	}
+	s.reqMu.Unlock()
+	for _, row := range rows {
+		var route, code string
+		if i := strings.LastIndexByte(row.key, '|'); i >= 0 {
+			route, code = row.key[:i], row.key[i+1:]
+		}
+		p("sweepd_requests_total{route=%q,code=%q} %d\n", route, code, row.n)
+	}
+
+	p("# HELP sweepd_jobs_total Jobs by terminal state.\n")
+	p("# TYPE sweepd_jobs_total counter\n")
+	for _, st := range []JobState{StateDone, StateFailed, StateRejected} {
+		p("sweepd_jobs_total{state=%q} %d\n", string(st), s.jobsByEnd[st].Value())
+	}
+	p("# TYPE sweepd_queue_depth gauge\n")
+	p("sweepd_queue_depth %d\n", s.queueDepth.Value())
+	p("# TYPE sweepd_queue_capacity gauge\n")
+	p("sweepd_queue_capacity %d\n", s.cfg.Queue)
+	p("# TYPE sweepd_running_jobs gauge\n")
+	p("sweepd_running_jobs %d\n", s.running.Value())
+	p("# TYPE sweepd_workers gauge\n")
+	p("sweepd_workers %d\n", s.cfg.Workers)
+	p("# TYPE sweepd_gomaxprocs gauge\n")
+	p("sweepd_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
+
+	p("# HELP sweepd_sim_events_total Simulation events executed by fresh (uncached) runs.\n")
+	p("# TYPE sweepd_sim_events_total counter\n")
+	p("sweepd_sim_events_total %d\n", s.simEvents.Value())
+
+	cs := s.cache.Stats()
+	p("# HELP sweepd_cache_hits_total Requests served from the result cache.\n")
+	p("# TYPE sweepd_cache_hits_total counter\n")
+	p("sweepd_cache_hits_total %d\n", cs.Hits)
+	p("# TYPE sweepd_cache_misses_total counter\n")
+	p("sweepd_cache_misses_total %d\n", cs.Misses)
+	p("# TYPE sweepd_cache_shared_total counter\n")
+	p("sweepd_cache_shared_total %d\n", cs.Shared)
+	p("# TYPE sweepd_cache_evictions_total counter\n")
+	p("sweepd_cache_evictions_total %d\n", cs.Evictions)
+	p("# TYPE sweepd_cache_rejected_total counter\n")
+	p("sweepd_cache_rejected_total %d\n", cs.Rejected)
+	p("# TYPE sweepd_cache_entries gauge\n")
+	p("sweepd_cache_entries %d\n", cs.Entries)
+	p("# TYPE sweepd_cache_bytes gauge\n")
+	p("sweepd_cache_bytes %d\n", cs.Bytes)
+	p("# TYPE sweepd_cache_budget_bytes gauge\n")
+	p("sweepd_cache_budget_bytes %d\n", cs.Budget)
+
+	writeLatency := func(name string, h *stats.LatencyHist) {
+		p("# HELP %s Latency quantiles (log-binned histogram).\n", name)
+		p("# TYPE %s summary\n", name)
+		if h.Count() > 0 {
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				p("%s{quantile=\"%g\"} %.6g\n", name, q, h.Quantile(q))
+			}
+		}
+		p("%s_sum %.6g\n", name, h.Sum())
+		p("%s_count %d\n", name, h.Count())
+	}
+	writeLatency("sweepd_job_duration_seconds", s.jobLat)
+	writeLatency("sweepd_http_request_duration_seconds", s.httpLat)
+}

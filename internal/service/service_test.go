@@ -1,0 +1,546 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer builds a Server with test-friendly defaults plus the
+// caller's overrides, mounted on an httptest.Server.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Version == "" {
+		cfg.Version = "test"
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = time.Minute
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readBody(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// decodeStatus parses a JobStatus response.
+func decodeStatus(t *testing.T, data []byte) JobStatus {
+	t.Helper()
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("bad status body %s: %v", data, err)
+	}
+	return st
+}
+
+// waitTerminal polls a job's status endpoint until it reaches a terminal
+// state.
+func waitTerminal(t *testing.T, base, id string, within time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := http.Get(base + "/api/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeStatus(t, readBody(t, resp))
+		if st.State.terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %s", id, st.State, within)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Errorf("healthz: %d %q, want 200 ok", resp.StatusCode, body)
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/api/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []struct{ ID, Title, Bench string }
+	if err := json.Unmarshal(readBody(t, resp), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 17 {
+		t.Fatalf("%d experiments listed, want 17", len(list))
+	}
+	if list[0].ID != "E1" || list[16].ID != "E17" {
+		t.Errorf("unexpected ordering: %s..%s", list[0].ID, list[16].ID)
+	}
+}
+
+// Async happy path: submit, poll to done, fetch the result in all three
+// formats, and confirm the JSON round-trips through the wire types.
+func TestAsyncJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/api/v1/jobs", `{"exp":"E1","quick":true}`)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID == "" || !strings.HasSuffix(sub.ResultURL, "/result") {
+		t.Fatalf("bad submit response: %+v", sub)
+	}
+
+	st := waitTerminal(t, ts.URL, sub.ID, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if st.Cached || st.Source != "computed" {
+		t.Errorf("first run reports cached=%v source=%q", st.Cached, st.Source)
+	}
+
+	resp, err := http.Get(ts.URL + sub.ResultURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %s", resp.StatusCode, raw)
+	}
+	res, err := decodeResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exp != "E1" || len(res.Tables) == 0 {
+		t.Fatalf("decoded result %s with %d tables", res.Exp, len(res.Tables))
+	}
+
+	resp, err = http.Get(ts.URL + sub.ResultURL + "?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(readBody(t, resp))
+	if !strings.Contains(text, "### E1") || !strings.Contains(text, res.Tables[0].Title) {
+		t.Errorf("text rendering missing header or title:\n%s", text)
+	}
+
+	resp, err = http.Get(ts.URL + sub.ResultURL + "?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvOut := string(readBody(t, resp))
+	if !strings.HasPrefix(csvOut, strings.Join(res.Tables[0].Cols, ",")) {
+		t.Errorf("csv rendering missing header row:\n%.200s", csvOut)
+	}
+
+	resp, err = http.Get(ts.URL + sub.ResultURL + "?format=yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readBody(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format: %d, want 400", resp.StatusCode)
+	}
+
+	// The jobs listing includes the finished job.
+	resp, err = http.Get(ts.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []JobStatus
+	if err := json.Unmarshal(readBody(t, resp), &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || all[0].ID != sub.ID {
+		t.Errorf("job listing = %+v, want the one job", all)
+	}
+}
+
+// Error paths on submission: malformed body, unknown fields, missing and
+// unknown experiment, bad presets, bad storage, negative timeout.
+func TestSubmitErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed json", `{"exp":`, http.StatusBadRequest},
+		{"unknown field", `{"exp":"E1","turbo":true}`, http.StatusBadRequest},
+		{"trailing garbage", `{"exp":"E1"} {"exp":"E2"}`, http.StatusBadRequest},
+		{"missing exp", `{"quick":true}`, http.StatusBadRequest},
+		{"unknown experiment", `{"exp":"E99"}`, http.StatusNotFound},
+		{"bad net preset", `{"exp":"E1","net":"carrier-pigeon"}`, http.StatusBadRequest},
+		{"bad storage", `{"exp":"E1","storage":{"aggregate_gbps":-1}}`, http.StatusBadRequest},
+		{"negative timeout", `{"exp":"E1","timeout_sec":-5}`, http.StatusBadRequest},
+	}
+	for _, endpoint := range []string{"/api/v1/jobs", "/api/v1/run"} {
+		for _, c := range cases {
+			resp := postJSON(t, ts.URL+endpoint, c.body)
+			body := readBody(t, resp)
+			if resp.StatusCode != c.want {
+				t.Errorf("%s %s: %d %s, want %d", endpoint, c.name, resp.StatusCode, body, c.want)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+				t.Errorf("%s %s: error body %q lacks an error message", endpoint, c.name, body)
+			}
+		}
+	}
+}
+
+func TestUnknownJobRoutes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/api/v1/jobs/nope", "/api/v1/jobs/nope/result", "/api/v1/jobs/nope/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readBody(t, resp)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// Fetching the result of a still-running job answers 409 with the state.
+func TestResultBeforeDone(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	// Occupy the lone worker with a full-scale E2 (several seconds), then
+	// ask for its result immediately.
+	resp := postJSON(t, ts.URL+"/api/v1/jobs", `{"exp":"E2","seed":101}`)
+	var sub submitResponse
+	if err := json.Unmarshal(readBody(t, resp), &sub); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + sub.ResultURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result of unfinished job: %d %s, want 409", resp.StatusCode, body)
+	}
+	s.Close() // cancel the sweep rather than waiting it out
+}
+
+// A full queue sheds load with 429 + Retry-After; capacity frees up once
+// the backlog drains.
+func TestQueueFullBackpressure(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Queue: 1})
+	// Worker seized by a long job (full E2), queue holds one more.
+	resp := postJSON(t, ts.URL+"/api/v1/jobs", `{"exp":"E2","seed":102}`)
+	var first submitResponse
+	if err := json.Unmarshal(readBody(t, resp), &first); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until it is actually running so the queue slot is free.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/api/v1/jobs/" + first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeStatus(t, readBody(t, r))
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("first job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp = postJSON(t, ts.URL+"/api/v1/jobs", `{"exp":"E1","quick":true,"seed":103}`)
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued job: %d, want 202", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/api/v1/jobs", `{"exp":"E1","quick":true,"seed":104}`)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	// Backpressure must also apply to the synchronous endpoint.
+	resp = postJSON(t, ts.URL+"/api/v1/run", `{"exp":"E1","quick":true,"seed":105}`)
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("sync run over capacity: %d, want 429", resp.StatusCode)
+	}
+}
+
+// A client that disconnects mid-run cancels its sweep: the job fails with
+// a context error long before the full-scale run could have finished.
+func TestClientDisconnectCancelsRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/api/v1/run",
+		strings.NewReader(`{"exp":"E2","seed":106}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+	// Let the sweep get going, then vanish.
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled request returned a response")
+	}
+
+	// The lone job must reach failed (context.Canceled) promptly — a
+	// full-scale E2 takes several seconds, so a fast terminal state proves
+	// cancellation propagated into the sweep pool rather than running out.
+	listDeadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/api/v1/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []JobStatus
+		if err := json.Unmarshal(readBody(t, resp), &all); err != nil {
+			t.Fatal(err)
+		}
+		if len(all) == 1 && all[0].State.terminal() {
+			if all[0].State != StateFailed || !strings.Contains(all[0].Error, "context canceled") {
+				t.Fatalf("job ended %s (%s), want failed with context canceled", all[0].State, all[0].Error)
+			}
+			break
+		}
+		if time.Now().After(listDeadline) {
+			t.Fatal("job never reached a terminal state after client disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// A request timeout caps the run: the job fails with deadline exceeded
+// instead of holding a worker for the full sweep.
+func TestJobTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/api/v1/run", `{"exp":"E2","seed":107,"timeout_sec":0.05}`)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("timed-out run: %d %s, want 500", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "context deadline exceeded") {
+		t.Errorf("error body %s does not name the deadline", body)
+	}
+}
+
+// Submissions during a drain answer 503 (and healthz flips), while
+// completed results stay fetchable.
+func TestDrainRejectsNewWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// Complete one job first.
+	resp := postJSON(t, ts.URL+"/api/v1/run", `{"exp":"E1","quick":true,"seed":108}`)
+	cold := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up run: %d %s", resp.StatusCode, cold)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+	for _, endpoint := range []string{"/api/v1/jobs", "/api/v1/run"} {
+		resp := postJSON(t, ts.URL+endpoint, `{"exp":"E1","quick":true,"seed":109}`)
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s while draining: %d %s, want 503", endpoint, resp.StatusCode, body)
+		}
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Finished results remain readable after the drain.
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/j1/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(warm, cold) {
+		t.Errorf("post-drain result fetch: %d, identical=%v", resp.StatusCode, bytes.Equal(warm, cold))
+	}
+}
+
+// SSE stream delivers state transitions and always ends on a terminal
+// state.
+func TestJobEventsStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/api/v1/jobs", `{"exp":"E1","quick":true,"seed":110}`)
+	var sub submitResponse
+	if err := json.Unmarshal(readBody(t, resp), &sub); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + sub.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	data := readBody(t, resp) // server closes the stream at the terminal event
+	events := []JobStatus{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if payload, ok := strings.CutPrefix(line, "data: "); ok {
+			events = append(events, decodeStatus(t, []byte(payload)))
+		}
+	}
+	if len(events) == 0 {
+		t.Fatalf("no events in stream:\n%s", data)
+	}
+	last := events[len(events)-1]
+	if last.State != StateDone {
+		t.Fatalf("stream ended on %s, want done (events: %+v)", last.State, events)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i-1].State.terminal() {
+			t.Errorf("event after terminal state: %+v", events)
+		}
+	}
+}
+
+// The metrics endpoint exposes request, job, queue, cache, and latency
+// series in Prometheus text format; pprof answers on /debug/pprof/.
+func TestMetricsAndPprof(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/api/v1/run", `{"exp":"E1","quick":true,"seed":111}`)
+	readBody(t, resp)
+	resp = postJSON(t, ts.URL+"/api/v1/run", `{"exp":"E1","quick":true,"seed":111}`)
+	readBody(t, resp)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(readBody(t, resp))
+	for _, want := range []string{
+		"sweepd_up 1",
+		`sweepd_requests_total{route="POST /api/v1/run",code="200"} 2`,
+		`sweepd_jobs_total{state="done"} 2`,
+		"sweepd_cache_hits_total 1",
+		"sweepd_cache_misses_total 1",
+		"sweepd_cache_entries 1",
+		"sweepd_queue_depth 0",
+		"sweepd_sim_events_total",
+		"sweepd_job_duration_seconds_count 2",
+		"sweepd_http_request_duration_seconds_count",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofBody := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(pprofBody, []byte("goroutine")) {
+		t.Errorf("pprof index: %d", resp.StatusCode)
+	}
+}
+
+// Config defaulting sanity.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Queue != 64 || c.Workers != 2 || c.CacheBytes != 256<<20 || c.Version != "dev" || c.MaxJobs != 1024 {
+		t.Errorf("defaults = %+v", c)
+	}
+	neg := Config{CacheBytes: -1}.withDefaults()
+	if neg.CacheBytes != -1 {
+		t.Errorf("negative cache budget (disable) overwritten: %d", neg.CacheBytes)
+	}
+}
+
+// The registry prunes only terminal jobs, oldest first.
+func TestRegistryPruning(t *testing.T) {
+	reg := newRegistry(2)
+	mk := func(id string, terminal bool) *Job {
+		j := newJob(id, SweepRequest{Exp: "E1"}, context.Background(), func() {})
+		if terminal {
+			j.finish(StateDone, nil, 0, nil)
+		}
+		return j
+	}
+	reg.add(mk("a", true))
+	reg.add(mk("b", false))
+	reg.add(mk("c", true))
+	if _, ok := reg.get("a"); ok {
+		t.Error("oldest terminal job not pruned")
+	}
+	for _, id := range []string{"b", "c"} {
+		if _, ok := reg.get(id); !ok {
+			t.Errorf("job %s pruned, want retained", id)
+		}
+	}
+	// A registry full of live jobs overshoots rather than dropping them.
+	reg2 := newRegistry(1)
+	reg2.add(mk("x", false))
+	reg2.add(mk("y", false))
+	if _, ok := reg2.get("x"); !ok {
+		t.Error("live job dropped by pruning")
+	}
+	if got := len(reg2.list()); got != 2 {
+		t.Errorf("listing %d jobs, want 2", got)
+	}
+}
