@@ -29,6 +29,8 @@
 package checkpointsim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strconv"
 
@@ -326,6 +328,12 @@ func (pc ProtocolConfig) build(st *storage.Store) (checkpoint.Protocol, error) {
 type RunConfig struct {
 	// Workload names a built-in generator: one of Workloads().
 	Workload string
+	// Program, when non-nil, is the application to execute directly — an
+	// ingested GOAL trace rather than a generated workload. The workload
+	// shape fields (Workload, Ranks, Iterations, Compute, Jitter, MsgBytes)
+	// are ignored; everything else (protocol, storage, noise, failures,
+	// seed) applies unchanged.
+	Program *Program
 	// Ranks is the number of MPI ranks.
 	Ranks int
 	// Iterations is the number of outer timesteps.
@@ -434,6 +442,13 @@ func (cfg RunConfig) CacheFields() []cache.Field {
 		cache.F("proto.2l.local_bytes", i64(cfg.Protocol.TwoLevel.LocalBytes)),
 		cache.F("proto.2l.global_bytes", i64(cfg.Protocol.TwoLevel.GlobalBytes)),
 	}
+	if cfg.Program != nil {
+		// An ingested trace replaces the workload shape in the address: the
+		// digest of the canonical serialization identifies the program, so
+		// two byte-different files that parse identically still share a key.
+		sum := sha256.Sum256([]byte(goal.WriteString(cfg.Program)))
+		fields = append(fields, cache.F("program.digest", hex.EncodeToString(sum[:])))
+	}
 	if cfg.Noise != nil {
 		fields = append(fields,
 			cache.F("noise.period", dur(cfg.Noise.Period)),
@@ -468,19 +483,24 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if (net == NetworkParams{}) {
 		net = DefaultNetwork()
 	}
-	prog, err := workload.FromName(cfg.Workload, workload.CommonConfig{
-		Base: workload.Base{
-			Ranks:      cfg.Ranks,
-			Iterations: cfg.Iterations,
-			Compute:    cfg.Compute,
-			Jitter:     cfg.Jitter,
-			Seed:       cfg.Seed,
-		},
-		Bytes: cfg.MsgBytes,
-	})
-	if err != nil {
-		return nil, err
+	prog := cfg.Program
+	if prog == nil {
+		var err error
+		prog, err = workload.FromName(cfg.Workload, workload.CommonConfig{
+			Base: workload.Base{
+				Ranks:      cfg.Ranks,
+				Iterations: cfg.Iterations,
+				Compute:    cfg.Compute,
+				Jitter:     cfg.Jitter,
+				Seed:       cfg.Seed,
+			},
+			Bytes: cfg.MsgBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
+	var err error
 	var st *storage.Store
 	if (cfg.Storage != StorageParams{}) {
 		st, err = storage.New(cfg.Storage)

@@ -23,6 +23,7 @@ import (
 	"strconv"
 
 	"checkpointsim"
+	"checkpointsim/internal/exp"
 	"checkpointsim/internal/failure"
 	"checkpointsim/internal/network"
 	"checkpointsim/internal/simtime"
@@ -41,6 +42,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("checksim", flag.ContinueOnError)
 	var (
 		workloadName = fs.String("workload", "stencil2d", "workload name (-list to enumerate)")
+		traceFile    = fs.String("trace", "", "run this GOAL trace file instead of a generated workload (see cmd/tracegen)")
 		list         = fs.Bool("list", false, "list workloads and exit")
 		ranks        = fs.Int("ranks", 64, "number of ranks")
 		iters        = fs.Int("iters", 50, "iterations")
@@ -182,6 +184,15 @@ func run(args []string, out io.Writer) error {
 		Seed:    *seed,
 		MaxTime: simtime.Time(mt),
 	}
+	var traceName, traceDigest string
+	if *traceFile != "" {
+		prog, name, digest, err := exp.LoadTraceFile(*traceFile)
+		if err != nil {
+			return err
+		}
+		cfg.Program = prog
+		traceName, traceDigest = name, digest
+	}
 	var timelineRows [][]string
 	col := timeline.NewCollector()
 	if *timelineCSV != "" || *gantt {
@@ -249,7 +260,12 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
-	fmt.Fprintf(out, "workload:  %s on %d ranks, %d iterations\n", *workloadName, *ranks, *iters)
+	if cfg.Program != nil {
+		fmt.Fprintf(out, "workload:  trace %s@%s on %d ranks, %d ops\n",
+			traceName, traceDigest, cfg.Program.NumRanks, len(cfg.Program.Ops))
+	} else {
+		fmt.Fprintf(out, "workload:  %s on %d ranks, %d iterations\n", *workloadName, *ranks, *iters)
+	}
 	fmt.Fprintf(out, "protocol:  %s\n", res.Protocol.Name())
 	fmt.Fprint(out, res.Result)
 	if chk != nil {

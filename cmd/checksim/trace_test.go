@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite trace golden files")
+
+// Each committed corpus trace runs through checksim with a fixed
+// coordinated protocol and the validator on, and its full output is pinned
+// to a golden next to the trace. Together with internal/exp's protocol-suite
+// goldens this pins the trace path end-to-end: parser, simulator, protocol,
+// validator, and the CLI rendering.
+func TestTraceGoldens(t *testing.T) {
+	traces, err := filepath.Glob(filepath.Join("..", "..", "internal", "exp", "testdata", "traces", "*.goal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("no committed traces (regenerate with `go run ./cmd/tracegen -corpus internal/exp/testdata/traces`)")
+	}
+	for _, trace := range traces {
+		trace := trace
+		name := strings.TrimSuffix(filepath.Base(trace), ".goal")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var out bytes.Buffer
+			err := run([]string{"-trace", trace, "-protocol", "coordinated",
+				"-interval", "1ms", "-write", "100us", "-validate"}, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := strings.TrimSuffix(trace, ".goal") + "_checksim.golden"
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("%s checksim output drifted from golden\n--- got ---\n%s--- want ---\n%s",
+					name, out.String(), want)
+			}
+		})
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-trace", "does-not-exist.goal"}, &out); err == nil {
+		t.Error("missing trace file ran without error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.goal")
+	if err := os.WriteFile(bad, []byte("num_ranks 2\nrank 0 {\n a: send 8b to 1 tag 0\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", bad}, &out); err == nil {
+		t.Error("unbalanced trace ran without error")
+	}
+}

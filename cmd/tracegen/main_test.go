@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"checkpointsim/internal/goal"
+)
+
+func TestGenerateParsesBack(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "sweep", "-ranks", "9", "-iters", "3",
+		"-compute", "100us", "-bytes", "512"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	p, err := goal.ParseString(out.String())
+	if err != nil {
+		t.Fatalf("emitted trace does not parse: %v", err)
+	}
+	if p.NumRanks != 9 {
+		t.Errorf("got %d ranks, want 9", p.NumRanks)
+	}
+	if err := p.CheckBalanced(); err != nil {
+		t.Errorf("emitted trace unbalanced: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	args := []string{"-workload", "stencil2d", "-ranks", "16", "-iters", "4",
+		"-jitter", "0.2", "-seed", "7"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("equal flags emitted different traces")
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.goal")
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "cg", "-ranks", "4", "-iters", "2", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := goal.ParseString(string(data)); err != nil {
+		t.Fatalf("file trace does not parse: %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"stencil2d", "sweep", "cg", "transpose"} {
+		if !strings.Contains(out.String(), w) {
+			t.Errorf("-list missing %s", w)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workload", "nope"},
+		{"-compute", "abc"},
+		{"-ranks", "0"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// The committed corpus under internal/exp/testdata/traces must be exactly
+// what `tracegen -corpus` emits today: the corpus is regenerable, and any
+// drift between the generators and the committed traces (whose simulation
+// results are pinned by goldens) is caught here rather than silently
+// shipping stale traces.
+func TestCorpusMatchesCommitted(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-corpus", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	committed := filepath.Join("..", "..", "internal", "exp", "testdata", "traces")
+	for _, s := range corpusSpecs {
+		fresh, err := os.ReadFile(filepath.Join(dir, s.name+".goal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join(committed, s.name+".goal"))
+		if err != nil {
+			t.Fatalf("committed corpus missing (regenerate with `go run ./cmd/tracegen -corpus internal/exp/testdata/traces`): %v", err)
+		}
+		if !bytes.Equal(fresh, want) {
+			t.Errorf("%s.goal drifted from the committed corpus; regenerate it", s.name)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/goal"
+	"checkpointsim/internal/report"
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/storage"
+)
+
+// Trace ingest: the study drove its simulator with recorded application
+// traces rather than synthetic kernels. TraceExperiment closes that gap —
+// any external GOAL program (cmd/tracegen output, a LogGOPSim trace, a
+// hand-written file) runs through the same protocol/storage/validator
+// stack as E1–E17, and the experiment ID carries a content digest so the
+// sweepd cache addresses the trace bytes, not just a filename.
+
+// TraceDigestLen is the length of the hex digest embedded in a trace
+// experiment's ID. 12 hex chars (48 bits) is plenty for a trace corpus and
+// keeps IDs readable.
+const TraceDigestLen = 12
+
+// LoadTrace parses a GOAL program from r and returns it with the content
+// digest of the raw bytes. The digest — not the parse — defines identity:
+// two byte-different files that parse identically get different IDs, which
+// over-segments the cache but never aliases it.
+func LoadTrace(r io.Reader) (*goal.Program, string, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, "", fmt.Errorf("trace: read: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	digest := hex.EncodeToString(sum[:])[:TraceDigestLen]
+	prog, err := goal.ParseString(string(data))
+	if err != nil {
+		return nil, "", err
+	}
+	if err := prog.CheckBalanced(); err != nil {
+		return nil, "", fmt.Errorf("trace: %w", err)
+	}
+	return prog, digest, nil
+}
+
+// LoadTraceFile loads a trace from a GOAL text file. The returned name is
+// the file's base name without extension, ready for TraceExperiment.
+func LoadTraceFile(path string) (*goal.Program, string, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", "", err
+	}
+	defer f.Close()
+	prog, digest, err := LoadTrace(f)
+	if err != nil {
+		return nil, "", "", fmt.Errorf("%s: %w", path, err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return prog, name, digest, nil
+}
+
+// TraceExperiment wraps an ingested GOAL program as an Experiment that runs
+// the checkpoint-protocol suite over it: an uninstrumented baseline, then
+// coordinated, uncoordinated (aligned and staggered, with message logging),
+// hierarchical, non-blocking, and partner checkpointing, all derived from
+// the trace's own baseline makespan so the suite scales with the trace.
+// The ID is "trace:<name>@<digest>", so Options.CacheFields stays exact:
+// different trace bytes can never share a cache entry.
+func TraceExperiment(name string, prog *goal.Program, digest string) Experiment {
+	id := "trace:" + name + "@" + digest
+	return Experiment{
+		ID:    id,
+		Title: "Trace ingest: " + name,
+		Desc:  "protocol suite over an ingested GOAL trace (" + digest + ")",
+		Run: func(o Options) ([]*report.Table, error) {
+			return runTrace(o, id, name, prog)
+		},
+	}
+}
+
+// traceInterval derives the checkpoint interval from a baseline makespan:
+// an eighth of the run, rounded to a microsecond, floored so degenerate
+// (near-empty) traces still get a positive interval. The write cost is a
+// tenth of that. Both are pure functions of the makespan, so equal traces
+// always sweep equal protocol configurations.
+func traceInterval(makespan simtime.Time) (tau, delta simtime.Duration) {
+	tau = simtime.Duration(makespan) / 8
+	tau = tau / simtime.Microsecond * simtime.Microsecond
+	if tau < 10*simtime.Microsecond {
+		tau = 10 * simtime.Microsecond
+	}
+	delta = tau / 10
+	if delta < simtime.Microsecond {
+		delta = simtime.Microsecond
+	}
+	return tau, delta
+}
+
+func runTrace(o Options, id, name string, prog *goal.Program) ([]*report.Table, error) {
+	net := o.net()
+	base, err := simulate(o, net, prog, o.Seed, 0)
+	if err != nil {
+		return nil, errf(id, err)
+	}
+	tau, delta := traceInterval(base.Makespan)
+	logp := checkpoint.LogParams{Alpha: 500 * simtime.Nanosecond, BetaNsPerByte: 0.05}
+
+	t := report.NewTable("Trace "+name+": protocol suite",
+		"protocol", "makespan", "overhead%", "rounds", "writes", "logged")
+
+	// Each point builds its protocol fresh (agents are single-simulation)
+	// and its own store (stores arbitrate within one engine).
+	type pt struct {
+		name  string
+		build func(st *storageStore) (checkpoint.Protocol, error)
+	}
+	points := []pt{
+		{"baseline", nil},
+		{"coordinated", func(st *storageStore) (checkpoint.Protocol, error) {
+			return checkpoint.NewCoordinated(st.params(tau, delta))
+		}},
+		{"uncoord-aligned", func(st *storageStore) (checkpoint.Protocol, error) {
+			return checkpoint.NewUncoordinated(st.params(tau, delta), checkpoint.Aligned, logp)
+		}},
+		{"uncoord-staggered", func(st *storageStore) (checkpoint.Protocol, error) {
+			return checkpoint.NewUncoordinated(st.params(tau, delta), checkpoint.Staggered, logp)
+		}},
+		{"hierarchical-c4", func(st *storageStore) (checkpoint.Protocol, error) {
+			return checkpoint.NewHierarchical(st.params(tau, delta), 4, logp)
+		}},
+		{"nonblocking", func(st *storageStore) (checkpoint.Protocol, error) {
+			return checkpoint.NewNonBlockingCoordinated(checkpoint.NonBlockingParams{
+				Params: st.params(tau, delta), Window: 4 * delta, Slowdown: 1.05})
+		}},
+		{"partner", func(st *storageStore) (checkpoint.Protocol, error) {
+			return checkpoint.NewPartner(checkpoint.PartnerParams{
+				Interval: tau, SerializeTime: delta, CkptBytes: 256 * 1024,
+				Offsets: checkpoint.Staggered, Store: st.store()})
+		}},
+	}
+
+	err = sweep(t, o, id, points, func(i int, p pt) (rows, error) {
+		var rs rows
+		if p.build == nil {
+			rs.add("baseline", simtime.Duration(base.Makespan).String(), 0.0,
+				int64(0), int64(0), int64(0))
+			return rs, nil
+		}
+		st := &storageStore{o: o}
+		proto, err := p.build(st)
+		if err != nil {
+			return nil, err
+		}
+		r, err := simulate(o, net, prog, pointSeed(o, id, i), 0, sim.Agent(proto))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.name, err)
+		}
+		s := proto.Stats()
+		rs.add(p.name, simtime.Duration(r.Makespan).String(), overheadPct(r, base),
+			s.Rounds, s.Writes, s.LoggedMessages)
+		return rs, nil
+	})
+	if err != nil {
+		return nil, errf(id, err)
+	}
+	t.AddNote(fmt.Sprintf("trace: %v", prog.Stats()))
+	t.AddNote(fmt.Sprintf("τ = makespan/8 = %v, δ = τ/10 = %v; logging α=%v β=%gns/B",
+		tau, delta, logp.Alpha, logp.BetaNsPerByte))
+	return []*report.Table{t}, nil
+}
+
+// storageStore builds one simulation's store lazily from the run options,
+// so a sweep point constructs at most one store (stores arbitrate within a
+// single engine and must never be shared across points).
+type storageStore struct {
+	o     Options
+	built bool
+	st    *storage.Store
+}
+
+func (s *storageStore) store() *storage.Store {
+	if !s.built {
+		s.st = storeFor(s.o)
+		s.built = true
+	}
+	return s.st
+}
+
+func (s *storageStore) params(tau, delta simtime.Duration) checkpoint.Params {
+	return checkpoint.Params{Interval: tau, Write: delta, Store: s.store()}
+}

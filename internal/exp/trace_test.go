@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corpusTraces returns the committed trace corpus, keyed by base name.
+func corpusTraces(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "traces", "*.goal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed traces under testdata/traces (regenerate with `go run ./cmd/tracegen -corpus internal/exp/testdata/traces`)")
+	}
+	return paths
+}
+
+// renderTrace runs the trace experiment for one corpus file with the
+// validator on and returns the rendered tables.
+func renderTrace(t *testing.T, path string, jobs int) string {
+	t.Helper()
+	prog, name, digest, err := LoadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := TraceExperiment(name, prog, digest)
+	o := DefaultOptions()
+	o.Validate = true
+	o.Jobs = jobs
+	tables, err := e.Run(o)
+	if err != nil {
+		t.Fatalf("%s: %v", e.ID, err)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		sb.WriteString(tb.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Every corpus trace runs end-to-end through the protocol suite with the
+// validator on, and its rendered output is pinned to a committed golden —
+// the trace-path analogue of TestGoldenQuickSeed42.
+func TestTraceCorpusGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full protocol suites")
+	}
+	for _, path := range corpusTraces(t) {
+		path := path
+		name := strings.TrimSuffix(filepath.Base(path), ".goal")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			got := renderTrace(t, path, 0)
+			golden := filepath.Join("testdata", "traces", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from golden %s\n--- got ---\n%s--- want ---\n%s",
+					name, golden, got, want)
+			}
+		})
+	}
+}
+
+// Trace runs are scheduling-blind like every other experiment: serial and
+// -j 8 renders are byte-identical.
+func TestTraceParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full protocol suites")
+	}
+	path := filepath.Join("testdata", "traces", "sweep_p16.goal")
+	serial := renderTrace(t, path, 1)
+	parallel := renderTrace(t, path, 8)
+	if serial != parallel {
+		t.Fatalf("-j 1 and -j 8 trace tables differ:\n--- j1 ---\n%s--- j8 ---\n%s",
+			serial, parallel)
+	}
+}
+
+// The experiment ID is content-addressed: renaming a file changes the name
+// half, editing a byte changes the digest half, and the validator rejects
+// unbalanced traces at load time.
+func TestLoadTrace(t *testing.T) {
+	dir := t.TempDir()
+	good := "num_ranks 2\nrank 0 {\n a: send 8b to 1 tag 0\n}\nrank 1 {\n b: recv 8b from 0 tag 0\n}\n"
+	path := filepath.Join(dir, "tiny.goal")
+	if err := os.WriteFile(path, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, name, digest, err := LoadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "tiny" {
+		t.Errorf("name = %q, want tiny", name)
+	}
+	if len(digest) != TraceDigestLen {
+		t.Errorf("digest %q has length %d, want %d", digest, len(digest), TraceDigestLen)
+	}
+	if prog.NumRanks != 2 {
+		t.Errorf("got %d ranks, want 2", prog.NumRanks)
+	}
+	e := TraceExperiment(name, prog, digest)
+	if want := "trace:tiny@" + digest; e.ID != want {
+		t.Errorf("ID = %q, want %q", e.ID, want)
+	}
+
+	// One changed byte must change the digest.
+	if err := os.WriteFile(path, []byte(good+"# x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, digest2, err := LoadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest2 == digest {
+		t.Error("different bytes produced the same digest")
+	}
+
+	// Unbalanced traces (send with no matching recv) fail at load.
+	bad := filepath.Join(dir, "bad.goal")
+	if err := os.WriteFile(bad, []byte("num_ranks 2\nrank 0 {\n a: send 8b to 1 tag 0\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadTraceFile(bad); err == nil {
+		t.Error("unbalanced trace loaded without error")
+	}
+	if _, _, _, err := LoadTraceFile(filepath.Join(dir, "missing.goal")); err == nil {
+		t.Error("missing file loaded without error")
+	}
+}

@@ -4,12 +4,20 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 
 	"checkpointsim/internal/simtime"
 )
+
+// MaxTextRanks caps the num_ranks header Parse accepts. Building a program
+// allocates per-rank state, so an adversarial or corrupt header like
+// "num_ranks 9999999999" must fail at parse time instead of attempting a
+// multi-gigabyte allocation. A million ranks is an order of magnitude past
+// every workload the simulator targets.
+const MaxTextRanks = 1 << 20
 
 // The textual GOAL dialect accepted and produced by this package:
 //
@@ -66,8 +74,8 @@ func Parse(r io.Reader) (*Program, error) {
 				return nil, fail("num_ranks wants one argument")
 			}
 			n, err := strconv.Atoi(toks[1])
-			if err != nil || n <= 0 {
-				return nil, fail("bad rank count %q", toks[1])
+			if err != nil || n <= 0 || n > MaxTextRanks {
+				return nil, fail("bad rank count %q (want 1..%d)", toks[1], MaxTextRanks)
 			}
 			b = NewBuilder(n)
 			sawHeader = true
@@ -179,12 +187,15 @@ func parseOp(b *Builder, rank int, toks []string) (OpID, error) {
 		if err != nil {
 			return NoOp, err
 		}
+		// Peers and tags are int32 in the op graph; bound them here so an
+		// out-of-range literal fails loudly instead of wrapping into a
+		// different (possibly valid) rank or tag.
 		peer, err := strconv.Atoi(toks[3])
-		if err != nil {
+		if err != nil || peer < 0 || peer > math.MaxInt32 {
 			return NoOp, fmt.Errorf("bad peer %q", toks[3])
 		}
 		tag, err := strconv.Atoi(toks[5])
-		if err != nil || tag < 0 {
+		if err != nil || tag < 0 || tag > math.MaxInt32 {
 			return NoOp, fmt.Errorf("bad tag %q", toks[5])
 		}
 		return b.Send(rank, peer, tag, size), nil
@@ -201,7 +212,7 @@ func parseOp(b *Builder, rank int, toks []string) (OpID, error) {
 		peer := AnySource
 		if toks[3] != "any" {
 			n, err := strconv.Atoi(toks[3])
-			if err != nil {
+			if err != nil || n < 0 || n > math.MaxInt32 {
 				return NoOp, fmt.Errorf("bad peer %q", toks[3])
 			}
 			peer = int32(n)
@@ -209,7 +220,7 @@ func parseOp(b *Builder, rank int, toks []string) (OpID, error) {
 		tag := AnyTag
 		if toks[5] != "any" {
 			n, err := strconv.Atoi(toks[5])
-			if err != nil || n < 0 {
+			if err != nil || n < 0 || n > math.MaxInt32 {
 				return NoOp, fmt.Errorf("bad tag %q", toks[5])
 			}
 			tag = int32(n)
@@ -238,12 +249,23 @@ func parseSize(s string) (int64, error) {
 	if err != nil || n < 0 {
 		return 0, fmt.Errorf("bad size %q", orig)
 	}
+	if n > math.MaxInt64/mult {
+		// A wrapped product could come out zero or positive-but-wrong; an
+		// overflowing size is always a mistake, so reject it outright.
+		return 0, fmt.Errorf("size %q overflows", orig)
+	}
 	return n * mult, nil
 }
 
 // Write serializes the program in the textual dialect. Labels are
-// regenerated as "oN" from op IDs (original labels are not preserved, which
-// keeps output canonical). The output parses back to an equivalent program.
+// regenerated as "oK" where K is the operation's position within its rank
+// (original labels are not preserved). Rank-local numbering — rather than
+// global op IDs — is what makes the output canonical: parsing renumbers
+// operations in the order rank blocks appear, so only a rank-relative
+// naming survives parse → serialize unchanged. Dependencies are intra-rank
+// (Program.Validate enforces it), so every dep has a local label. The
+// output parses back to a structurally identical program, and serializing
+// that program reproduces the output byte-for-byte.
 func Write(w io.Writer, p *Program) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "num_ranks %d\n", p.NumRanks)
@@ -252,14 +274,18 @@ func Write(w io.Writer, p *Program) error {
 		if len(ids) == 0 {
 			continue
 		}
+		local := make(map[OpID]int, len(ids))
+		for k, id := range ids {
+			local[id] = k
+		}
 		fmt.Fprintf(bw, "rank %d {\n", rank)
-		for _, id := range ids {
+		for k, id := range ids {
 			op := p.Op(id)
 			switch op.Kind {
 			case KindCalc:
-				fmt.Fprintf(bw, "  o%d: calc %dns\n", id, int64(op.Work))
+				fmt.Fprintf(bw, "  o%d: calc %dns\n", k, int64(op.Work))
 			case KindSend:
-				fmt.Fprintf(bw, "  o%d: send %db to %d tag %d\n", id, op.Bytes, op.Peer, op.Tag)
+				fmt.Fprintf(bw, "  o%d: send %db to %d tag %d\n", k, op.Bytes, op.Peer, op.Tag)
 			case KindRecv:
 				peer, tag := "any", "any"
 				if op.Peer != AnySource {
@@ -268,17 +294,20 @@ func Write(w io.Writer, p *Program) error {
 				if op.Tag != AnyTag {
 					tag = strconv.Itoa(int(op.Tag))
 				}
-				fmt.Fprintf(bw, "  o%d: recv %db from %s tag %s\n", id, op.Bytes, peer, tag)
+				fmt.Fprintf(bw, "  o%d: recv %db from %s tag %s\n", k, op.Bytes, peer, tag)
 			}
 		}
-		for _, id := range ids {
+		for k, id := range ids {
 			op := p.Op(id)
 			if len(op.Deps) == 0 {
 				continue
 			}
-			deps := append([]OpID(nil), op.Deps...)
-			sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
-			fmt.Fprintf(bw, "  o%d requires", id)
+			deps := make([]int, 0, len(op.Deps))
+			for _, d := range op.Deps {
+				deps = append(deps, local[d])
+			}
+			sort.Ints(deps)
+			fmt.Fprintf(bw, "  o%d requires", k)
 			for _, d := range deps {
 				fmt.Fprintf(bw, " o%d", d)
 			}

@@ -17,6 +17,7 @@ import (
 	"io"
 	"time"
 
+	"checkpointsim/internal/cache"
 	"checkpointsim/internal/exp"
 	"checkpointsim/internal/network"
 	"checkpointsim/internal/report"
@@ -27,8 +28,14 @@ import (
 // /api/v1/run. Zero values mean "the default the CLI would use": seed 42,
 // full scale, default network preset, no storage model, no validation.
 type SweepRequest struct {
-	// Exp is the experiment ID (E1..E17). Required.
-	Exp string `json:"exp"`
+	// Exp is the experiment ID (E1..E17). Required unless Scenario is set.
+	Exp string `json:"exp,omitempty"`
+	// Scenario, when non-nil, runs one campaign scenario (internal/exp
+	// Scenario) instead of a named experiment. A scenario carries its whole
+	// configuration — axes and seed — so Exp, Seed, Quick, and Storage must
+	// be absent; Net still selects the network preset, and validation is
+	// always on (campaign points are correctness probes).
+	Scenario *exp.Scenario `json:"scenario,omitempty"`
 	// Seed drives all randomness (default 42).
 	Seed *uint64 `json:"seed,omitempty"`
 	// Quick selects the reduced (bench/CI-scale) sweep.
@@ -84,13 +91,31 @@ func decodeRequest(r io.Reader) (SweepRequest, error) {
 
 // resolve validates the request and builds the experiment and fully
 // resolved options it describes (Jobs/Events/Ctx are the server's to set).
+// Scenario requests resolve to a synthetic experiment wrapping
+// Scenario.Run; runJob addresses them by Scenario.CacheFields instead of
+// Options.CacheFields.
 func (req SweepRequest) resolve() (exp.Experiment, exp.Options, error) {
-	if req.Exp == "" {
-		return exp.Experiment{}, exp.Options{}, badf("missing experiment id")
-	}
-	e, ok := exp.ByID(req.Exp)
-	if !ok {
-		return exp.Experiment{}, exp.Options{}, &unknownExpError{id: req.Exp}
+	var e exp.Experiment
+	if sc := req.Scenario; sc != nil {
+		if req.Exp != "" {
+			return exp.Experiment{}, exp.Options{}, badf("request names both an experiment (%q) and a scenario", req.Exp)
+		}
+		if req.Seed != nil || req.Quick || req.Storage != nil {
+			return exp.Experiment{}, exp.Options{}, badf("scenario requests carry their whole configuration; seed, quick, and storage do not apply")
+		}
+		if err := sc.Validate(); err != nil {
+			return exp.Experiment{}, exp.Options{}, badf("bad scenario: %v", err)
+		}
+		e = ScenarioExperiment(*sc)
+	} else {
+		if req.Exp == "" {
+			return exp.Experiment{}, exp.Options{}, badf("missing experiment id")
+		}
+		var ok bool
+		e, ok = exp.ByID(req.Exp)
+		if !ok {
+			return exp.Experiment{}, exp.Options{}, &unknownExpError{id: req.Exp}
+		}
 	}
 	o := exp.DefaultOptions()
 	if req.Seed != nil {
@@ -137,6 +162,33 @@ func (req SweepRequest) timeout(def time.Duration) time.Duration {
 		return def
 	}
 	return d
+}
+
+// ScenarioExperiment wraps one campaign scenario as a synthetic experiment
+// so the job pipeline (run, encode, format) treats scenarios and named
+// experiments uniformly. The ID is the scenario's spec string.
+func ScenarioExperiment(sc exp.Scenario) exp.Experiment {
+	return exp.Experiment{
+		ID:    sc.ID(),
+		Title: "Campaign scenario",
+		Desc:  "one point of the randomized scenario campaign",
+		Run:   sc.Run,
+	}
+}
+
+// ScenarioCacheKey is the content address runJob computes for a scenario
+// request: exported so cmd/campaign can derive the exact key a sweepd with
+// the same version would use, and print it for reproduction.
+func ScenarioCacheKey(version string, sc exp.Scenario, net network.Params) string {
+	return cache.Key(version, sc.CacheFields(net))
+}
+
+// EncodeScenarioResult produces the exact bytes a sweepd stores and serves
+// for this scenario's completed run — the other half of the campaign's
+// cache-consistency check: a local fresh run must byte-match the service's
+// cached result.
+func EncodeScenarioResult(sc exp.Scenario, tables []*report.Table) ([]byte, error) {
+	return encodeResult(ScenarioExperiment(sc), tables)
 }
 
 // TableResult is the wire form of one report.Table. Cells are the

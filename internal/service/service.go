@@ -234,6 +234,13 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	key := cache.Key(s.cfg.Version, opts.CacheFields(e.ID))
+	if sc := job.Req.Scenario; sc != nil {
+		// Scenarios are self-describing: the axis assignment and seed are
+		// the address, plus the resolved network preset. Options fields
+		// are pinned to defaults for scenario requests (resolve enforces
+		// it), so nothing result-determining escapes the key.
+		key = ScenarioCacheKey(s.cfg.Version, *sc, opts.Net)
+	}
 	val, src, err := s.cache.GetOrCompute(job.ctx, key, func(ctx context.Context) ([]byte, error) {
 		var events int64
 		opts.Ctx = ctx
