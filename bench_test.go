@@ -55,6 +55,8 @@ func BenchmarkE14Fabric(b *testing.B)       { benchExperiment(b, "E14") }
 func BenchmarkE15Resonance(b *testing.B)    { benchExperiment(b, "E15") }
 func BenchmarkE16TwoLevel(b *testing.B)     { benchExperiment(b, "E16") }
 func BenchmarkE17Contention(b *testing.B)   { benchExperiment(b, "E17") }
+func BenchmarkE18Replication(b *testing.B)  { benchExperiment(b, "E18") }
+func BenchmarkE19CIC(b *testing.B)          { benchExperiment(b, "E19") }
 
 // Serial counterparts for the heaviest sweeps: benchstat these against the
 // parallel versions above to measure the worker-pool speedup on your box

@@ -28,31 +28,36 @@ func baseCfg() RunConfig {
 func TestRunConfigCacheFields(t *testing.T) {
 	ref := facadeKey(baseCfg())
 	mutations := map[string]func(*RunConfig){
-		"workload":        func(c *RunConfig) { c.Workload = "ring" },
-		"ranks":           func(c *RunConfig) { c.Ranks = 32 },
-		"iterations":      func(c *RunConfig) { c.Iterations = 21 },
-		"compute":         func(c *RunConfig) { c.Compute = 2 * Millisecond },
-		"jitter":          func(c *RunConfig) { c.Jitter = 0.1 },
-		"msg bytes":       func(c *RunConfig) { c.MsgBytes = 8192 },
-		"seed":            func(c *RunConfig) { c.Seed = 2 },
-		"max time":        func(c *RunConfig) { c.MaxTime = Time(Hour) },
-		"net":             func(c *RunConfig) { c.Net = DefaultNetwork(); c.Net.Latency *= 2 },
-		"storage":         func(c *RunConfig) { c.Storage.AggregateBytesPerSec = 1e9 },
-		"protocol kind":   func(c *RunConfig) { c.Protocol.Kind = ProtoUncoordinated },
-		"interval":        func(c *RunConfig) { c.Protocol.Interval = 20 * Millisecond },
-		"write":           func(c *RunConfig) { c.Protocol.Write = 2 * Millisecond },
-		"offset":          func(c *RunConfig) { c.Protocol.Offset = "random" },
-		"logging alpha":   func(c *RunConfig) { c.Protocol.Logging.Alpha = Microsecond },
-		"logging beta":    func(c *RunConfig) { c.Protocol.Logging.BetaNsPerByte = 0.5 },
-		"cluster":         func(c *RunConfig) { c.Protocol.ClusterSize = 8 },
-		"incremental":     func(c *RunConfig) { c.Protocol.Incremental = IncrementalParams{FullEvery: 4, Fraction: 0.25} },
-		"window":          func(c *RunConfig) { c.Protocol.Window = Millisecond },
-		"slowdown":        func(c *RunConfig) { c.Protocol.Slowdown = 1.1 },
-		"ckpt bytes":      func(c *RunConfig) { c.Protocol.CkptBytes = 1 << 20 },
-		"proto bytes":     func(c *RunConfig) { c.Protocol.Bytes = 1 << 20 },
-		"two-level":       func(c *RunConfig) { c.Protocol.TwoLevel.LocalInterval = Millisecond },
-		"noise attached":  func(c *RunConfig) { c.Noise = &NoiseConfig{Period: Millisecond, Duration: Microsecond} },
-		"failures":        func(c *RunConfig) { c.Failures = &FailureConfig{MTBF: Hour} },
+		"workload":       func(c *RunConfig) { c.Workload = "ring" },
+		"ranks":          func(c *RunConfig) { c.Ranks = 32 },
+		"iterations":     func(c *RunConfig) { c.Iterations = 21 },
+		"compute":        func(c *RunConfig) { c.Compute = 2 * Millisecond },
+		"jitter":         func(c *RunConfig) { c.Jitter = 0.1 },
+		"msg bytes":      func(c *RunConfig) { c.MsgBytes = 8192 },
+		"seed":           func(c *RunConfig) { c.Seed = 2 },
+		"max time":       func(c *RunConfig) { c.MaxTime = Time(Hour) },
+		"net":            func(c *RunConfig) { c.Net = DefaultNetwork(); c.Net.Latency *= 2 },
+		"storage":        func(c *RunConfig) { c.Storage.AggregateBytesPerSec = 1e9 },
+		"protocol kind":  func(c *RunConfig) { c.Protocol.Kind = ProtoUncoordinated },
+		"interval":       func(c *RunConfig) { c.Protocol.Interval = 20 * Millisecond },
+		"write":          func(c *RunConfig) { c.Protocol.Write = 2 * Millisecond },
+		"offset":         func(c *RunConfig) { c.Protocol.Offset = "random" },
+		"logging alpha":  func(c *RunConfig) { c.Protocol.Logging.Alpha = Microsecond },
+		"logging beta":   func(c *RunConfig) { c.Protocol.Logging.BetaNsPerByte = 0.5 },
+		"cluster":        func(c *RunConfig) { c.Protocol.ClusterSize = 8 },
+		"incremental":    func(c *RunConfig) { c.Protocol.Incremental = IncrementalParams{FullEvery: 4, Fraction: 0.25} },
+		"window":         func(c *RunConfig) { c.Protocol.Window = Millisecond },
+		"slowdown":       func(c *RunConfig) { c.Protocol.Slowdown = 1.1 },
+		"ckpt bytes":     func(c *RunConfig) { c.Protocol.CkptBytes = 1 << 20 },
+		"proto bytes":    func(c *RunConfig) { c.Protocol.Bytes = 1 << 20 },
+		"two-level":      func(c *RunConfig) { c.Protocol.TwoLevel.LocalInterval = Millisecond },
+		"noise attached": func(c *RunConfig) { c.Noise = &NoiseConfig{Period: Millisecond, Duration: Microsecond} },
+		"failures":       func(c *RunConfig) { c.Failures = &FailureConfig{MTBF: Hour} },
+		"replica degree": func(c *RunConfig) { c.Protocol.ReplicaDegree = 2 },
+		"hb period":      func(c *RunConfig) { c.Protocol.HeartbeatPeriod = 2 * Millisecond },
+		"hb bytes":       func(c *RunConfig) { c.Protocol.HeartbeatBytes = 128 },
+		"takeover cost":  func(c *RunConfig) { c.Protocol.TakeoverCost = Millisecond },
+		"cic lag":        func(c *RunConfig) { c.Protocol.CICLag = 3 },
 	}
 	for name, mutate := range mutations {
 		cfg := baseCfg()

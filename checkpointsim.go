@@ -100,6 +100,8 @@ type (
 	IncrementalParams = checkpoint.IncrementalParams
 	// TwoLevelParams configure multilevel (SCR/FTI-class) checkpointing.
 	TwoLevelParams = checkpoint.TwoLevelParams
+	// ReplicationParams configure replication-based resilience.
+	ReplicationParams = checkpoint.ReplicationParams
 	// StorageParams configure the shared-storage model: aggregate parallel
 	// filesystem bandwidth, a per-writer cap, and per-node burst-buffer
 	// bandwidth. The zero value means no storage modelling (legacy
@@ -138,6 +140,9 @@ const (
 	// RecoverTwoLevel dispatches on failure severity between the local and
 	// global levels of a two-level protocol.
 	RecoverTwoLevel = failure.RecoverTwoLevel
+	// RecoverTakeover absorbs failures by replica takeover (replication
+	// protocol): detection plus promotion, never lost work.
+	RecoverTakeover = failure.TakeoverReplica
 )
 
 // Storage tiers for StorageTier fields.
@@ -196,6 +201,24 @@ func NewTwoLevelProtocol(p TwoLevelParams) (Protocol, error) {
 	return checkpoint.NewTwoLevel(p)
 }
 
+// NewReplicationProtocol builds replication-based resilience. The program
+// must span (degree+1)× the application's ranks (see goal.Widen); Run does
+// this automatically for ProtoReplication.
+func NewReplicationProtocol(p ReplicationParams) (Protocol, error) {
+	return checkpoint.NewReplication(p)
+}
+
+// NewCICProtocol builds index-based communication-induced checkpointing
+// with the given index-lag threshold and offset policy ("aligned",
+// "staggered", or "random").
+func NewCICProtocol(p CheckpointParams, lag int, offset string) (Protocol, error) {
+	pol, err := checkpoint.ParseOffsetPolicy(offset)
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.NewCIC(p, lag, pol)
+}
+
 // NewUncoordinatedIncremental builds the uncoordinated protocol with
 // incremental writes.
 func NewUncoordinatedIncremental(p CheckpointParams, offset string, log LogParams,
@@ -232,6 +255,14 @@ const (
 	ProtoNonBlocking   ProtoKind = "nonblocking"
 	ProtoPartner       ProtoKind = "partner"
 	ProtoTwoLevel      ProtoKind = "twolevel"
+	// ProtoReplication runs replication-based resilience: the Ranks
+	// application ranks are embedded in a machine of
+	// Ranks·(ReplicaDegree+1) simulated nodes whose extra ranks mirror the
+	// primaries (Run widens the program automatically). Pair with
+	// RecoverTakeover failures.
+	ProtoReplication ProtoKind = "replication"
+	// ProtoCIC runs index-based communication-induced checkpointing.
+	ProtoCIC ProtoKind = "cic"
 )
 
 // ProtocolConfig describes the checkpointing strategy of a Run.
@@ -267,6 +298,19 @@ type ProtocolConfig struct {
 	// TwoLevel configures ProtoTwoLevel (Interval/Write above are ignored
 	// for that kind).
 	TwoLevel TwoLevelParams
+	// ReplicaDegree is the replication protocol's replicas per application
+	// rank (ProtoReplication; default 1).
+	ReplicaDegree int
+	// HeartbeatPeriod and HeartbeatBytes configure replication failure
+	// detection (ProtoReplication; defaults 1ms / 64 B).
+	HeartbeatPeriod Duration
+	HeartbeatBytes  int64
+	// TakeoverCost is the replica-promotion cost after detection
+	// (ProtoReplication; default 500µs).
+	TakeoverCost Duration
+	// CICLag is the CIC index-lag threshold that forces a checkpoint
+	// (ProtoCIC; default 1 = the Z-path-free rule).
+	CICLag int
 }
 
 // build constructs the configured protocol, routing writes through st when
@@ -320,6 +364,23 @@ func (pc ProtocolConfig) build(st *storage.Store) (checkpoint.Protocol, error) {
 			Offsets:       off,
 			Store:         st,
 		})
+	case ProtoReplication:
+		return checkpoint.NewReplication(checkpoint.ReplicationParams{
+			Degree:          pc.ReplicaDegree,
+			HeartbeatPeriod: pc.HeartbeatPeriod,
+			HeartbeatBytes:  pc.HeartbeatBytes,
+			TakeoverCost:    pc.TakeoverCost,
+		})
+	case ProtoCIC:
+		off := checkpoint.Staggered
+		if pc.Offset != "" {
+			var err error
+			off, err = checkpoint.ParseOffsetPolicy(pc.Offset)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return checkpoint.NewCIC(params, pc.CICLag, off)
 	}
 	return nil, fmt.Errorf("checkpointsim: unknown protocol kind %q", pc.Kind)
 }
@@ -441,6 +502,11 @@ func (cfg RunConfig) CacheFields() []cache.Field {
 		cache.F("proto.2l.ctl_bytes", i64(cfg.Protocol.TwoLevel.CtlBytes)),
 		cache.F("proto.2l.local_bytes", i64(cfg.Protocol.TwoLevel.LocalBytes)),
 		cache.F("proto.2l.global_bytes", i64(cfg.Protocol.TwoLevel.GlobalBytes)),
+		cache.F("proto.rep.degree", strconv.Itoa(cfg.Protocol.ReplicaDegree)),
+		cache.F("proto.rep.hb_period", dur(cfg.Protocol.HeartbeatPeriod)),
+		cache.F("proto.rep.hb_bytes", i64(cfg.Protocol.HeartbeatBytes)),
+		cache.F("proto.rep.takeover", dur(cfg.Protocol.TakeoverCost)),
+		cache.F("proto.cic.lag", strconv.Itoa(cfg.Protocol.CICLag)),
 	}
 	if cfg.Program != nil {
 		// An ingested trace replaces the workload shape in the address: the
@@ -496,6 +562,19 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			},
 			Bytes: cfg.MsgBytes,
 		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Protocol.Kind == ProtoReplication {
+		// The configured ranks are the application; widen the machine so
+		// each primary's replicas are real simulated nodes.
+		d := cfg.Protocol.ReplicaDegree
+		if d <= 0 {
+			d = 1
+		}
+		var err error
+		prog, err = goal.Widen(prog, prog.NumRanks*(d+1))
 		if err != nil {
 			return nil, err
 		}

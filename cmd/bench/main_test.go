@@ -119,7 +119,7 @@ func TestFileRoundTrip(t *testing.T) {
 
 func TestResolveIDs(t *testing.T) {
 	ids, err := resolveIDs("all")
-	if err != nil || len(ids) != 17 {
+	if err != nil || len(ids) != 19 {
 		t.Fatalf("all -> %d ids, err %v", len(ids), err)
 	}
 	ids, err = resolveIDs("E8, E17")

@@ -49,7 +49,7 @@ func run(args []string, out io.Writer) error {
 		compute      = fs.String("compute", "1ms", "mean per-iteration compute")
 		jitter       = fs.Float64("jitter", 0, "relative compute jitter (stddev fraction)")
 		bytes        = fs.Int64("bytes", 4096, "dominant message size")
-		protocol     = fs.String("protocol", "none", "none|coordinated|uncoordinated|hierarchical|nonblocking|partner|twolevel")
+		protocol     = fs.String("protocol", "none", "none|coordinated|uncoordinated|hierarchical|nonblocking|partner|twolevel|replication|cic")
 		interval     = fs.String("interval", "10ms", "checkpoint interval")
 		write        = fs.String("write", "1ms", "checkpoint write time")
 		offset       = fs.String("offset", "staggered", "uncoordinated offsets: aligned|staggered|random")
@@ -59,6 +59,10 @@ func run(args []string, out io.Writer) error {
 		ckptBytes    = fs.Int64("ckpt-bytes", 1<<20, "partner: checkpoint image size")
 		localIv      = fs.String("local-interval", "2ms", "twolevel: local checkpoint interval")
 		localWr      = fs.String("local-write", "100us", "twolevel: local write time")
+		degree       = fs.Int("replica-degree", 1, "replication: replicas per application rank (machine grows to ranks*(degree+1))")
+		hbPeriod     = fs.String("hb-period", "1ms", "replication: heartbeat period (bounds failure-detection latency)")
+		takeover     = fs.String("takeover", "500us", "replication: replica promotion cost after detection")
+		cicLag       = fs.Int("cic-lag", 1, "cic: index-lag threshold forcing a checkpoint (1 = Z-path-free)")
 		incrEvery    = fs.Int("incr-every", 0, "uncoordinated: every k-th write is full, others incremental (0 = off)")
 		incrFrac     = fs.Float64("incr-fraction", 0.25, "uncoordinated: incremental write fraction of full")
 		logAlpha     = fs.String("log-alpha", "0", "per-message logging CPU cost")
@@ -67,7 +71,7 @@ func run(args []string, out io.Writer) error {
 		noiseDur     = fs.String("noise-duration", "25us", "noise event duration")
 		mtbf         = fs.String("mtbf", "", "per-node MTBF (empty = no failures)")
 		restart      = fs.String("restart", "1ms", "failure restart cost")
-		recovery     = fs.String("recovery", "global", "failure recovery: global|local")
+		recovery     = fs.String("recovery", "global", "failure recovery: global|local|takeover")
 		seed         = fs.Uint64("seed", 42, "random seed")
 		maxTime      = fs.String("max-time", "0", "abort after this much virtual time (0 = unlimited)")
 		netPreset    = fs.String("net", "default", "network preset: default|capability|ethernet")
@@ -122,6 +126,14 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	lwr, err := parse(*localWr)
+	if err != nil {
+		return err
+	}
+	hb, err := parse(*hbPeriod)
+	if err != nil {
+		return err
+	}
+	tk, err := parse(*takeover)
 	if err != nil {
 		return err
 	}
@@ -180,6 +192,10 @@ func run(args []string, out io.Writer) error {
 				FullEvery: *incrEvery,
 				Fraction:  *incrFrac,
 			},
+			ReplicaDegree:   *degree,
+			HeartbeatPeriod: hb,
+			TakeoverCost:    tk,
+			CICLag:          *cicLag,
 		},
 		Seed:    *seed,
 		MaxTime: simtime.Time(mt),
@@ -233,9 +249,13 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		kind := failure.RollbackGlobal
-		if *recovery == "local" {
+		switch *recovery {
+		case "global":
+		case "local":
 			kind = failure.ReplayLocal
-		} else if *recovery != "global" {
+		case "takeover":
+			kind = failure.TakeoverReplica
+		default:
 			return fmt.Errorf("unknown recovery %q", *recovery)
 		}
 		cfg.Failures = &checkpointsim.FailureConfig{MTBF: m, Restart: rs, Kind: kind}
@@ -259,6 +279,16 @@ func run(args []string, out io.Writer) error {
 				return verr
 			}
 		}
+		if rm, ok := res.Protocol.(validate.ReplicaMirror); ok {
+			if verr := chk.CheckReplication(rm); verr != nil {
+				return verr
+			}
+		}
+		if ci, ok := res.Protocol.(validate.CICIntrospect); ok {
+			if verr := chk.CheckCIC(ci); verr != nil {
+				return verr
+			}
+		}
 	}
 	if cfg.Program != nil {
 		fmt.Fprintf(out, "workload:  trace %s@%s on %d ranks, %d ops\n",
@@ -274,6 +304,9 @@ func run(args []string, out io.Writer) error {
 	st := res.Protocol.Stats()
 	if st.Writes > 0 {
 		fmt.Fprintf(out, "checkpoints: %d writes", st.Writes)
+		if st.Forced > 0 {
+			fmt.Fprintf(out, " (%d forced)", st.Forced)
+		}
 		if st.Rounds > 0 {
 			fmt.Fprintf(out, ", %d rounds (quiesce %v/round, span %v/round)",
 				st.Rounds,
@@ -281,6 +314,10 @@ func run(args []string, out io.Writer) error {
 				st.RoundSpan/simtime.Duration(st.Rounds))
 		}
 		fmt.Fprintln(out)
+	}
+	if st.MirroredMessages > 0 || st.Heartbeats > 0 {
+		fmt.Fprintf(out, "replication: %d mirrored messages (%.1f MiB), %d heartbeats, %d takeovers\n",
+			st.MirroredMessages, float64(st.MirroredBytes)/(1<<20), st.Heartbeats, st.Takeovers)
 	}
 	if s := res.Store; s != nil {
 		ss := s.Stats()

@@ -18,6 +18,17 @@
 //     pay the logging tax — the standard hybrid design point between the
 //     two extremes.
 //
+//   - Replication: every application rank is shadowed by dedicated replica
+//     ranks; sends are duplicated to the destination's replicas, primaries
+//     heartbeat their replicas, and a failed primary is absorbed by replica
+//     takeover instead of rollback — no checkpoints at all, at the price of
+//     a 1/(degree+1) effective machine.
+//
+//   - CIC: index-based communication-induced checkpointing; basic local
+//     checkpoints advance a Lamport-style index piggybacked on every
+//     message, and a receiver lagging a message's index takes a forced
+//     checkpoint before processing it (the Z-path-free rule).
+//
 // All protocols implement Protocol: a sim.Agent plus introspection used by
 // the failure/recovery machinery and the experiment harness.
 package checkpoint
@@ -140,6 +151,18 @@ type Stats struct {
 	LoggedBytes int64
 	// LogPenalty sums the CPU time charged for logging.
 	LogPenalty simtime.Duration
+	// Forced counts forced (communication-induced) checkpoint writes, a
+	// subset of Writes (CIC protocol).
+	Forced int64
+	// MirroredMessages counts application sends duplicated to replica
+	// ranks (replication protocol); MirroredBytes sums their payloads.
+	MirroredMessages int64
+	MirroredBytes    int64
+	// Heartbeats counts heartbeat control messages sent to replicas.
+	Heartbeats int64
+	// Takeovers counts primary failures absorbed by replica promotion
+	// instead of rollback.
+	Takeovers int64
 }
 
 // Protocol is the interface all checkpointing strategies implement.

@@ -1,0 +1,158 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"checkpointsim/internal/sim"
+	"checkpointsim/internal/simtime"
+)
+
+// cicChan keys the per-channel queue of piggybacked checkpoint indices.
+type cicChan struct {
+	src, dst int32
+}
+
+// CIC is index-based communication-induced checkpointing (the
+// Briatico–Ciuffoletti–Simoncini family in Garcia et al.'s survey). Each
+// rank keeps a Lamport-style checkpoint index, incremented by basic
+// checkpoints on an independent local timer and piggybacked on every
+// application message. When a receiver's index lags a message's piggybacked
+// index by at least LagThreshold, it takes a forced checkpoint — before the
+// message is processed — and adopts the sender's index. Threshold 1 is the
+// classic Z-path-free rule: no sequence of messages can thread checkpoints
+// into a useless (Z-cycle) recovery line, so a consistent global state
+// always exists without any coordination messages. Larger thresholds trade
+// forced-checkpoint load for a weaker guarantee.
+//
+// Indices ride in message headers, so the piggyback itself is free; the
+// protocol's cost is entirely the forced writes, which go through the same
+// storage path as every other checkpoint. Index pairing uses per-channel
+// FIFO queues: with single-threaded ranks and non-overtaking channels,
+// match order equals send order per channel (tag-reordered wildcard
+// matching could mispair two in-flight indices on one channel, which at
+// worst shifts a forced checkpoint by one message).
+type CIC struct {
+	p      Params
+	lag    int64
+	policy OffsetPolicy
+	stats  Stats
+	ctx    *sim.Context
+	idx    []int64
+	last   []simtime.Time
+	busyAt []simtime.Duration
+	queues map[cicChan][]int64
+}
+
+// NewCIC builds the protocol. lag is the index-lag threshold (default 1);
+// policy staggers the basic-checkpoint timers.
+func NewCIC(p Params, lag int, policy OffsetPolicy) (*CIC, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if lag < 0 {
+		return nil, fmt.Errorf("checkpoint: negative CIC lag threshold %d", lag)
+	}
+	if lag == 0 {
+		lag = 1
+	}
+	if policy > Random {
+		return nil, fmt.Errorf("checkpoint: bad offset policy %d", policy)
+	}
+	return &CIC{p: p, lag: int64(lag), policy: policy, queues: make(map[cicChan][]int64)}, nil
+}
+
+// Init implements sim.Agent: start the basic-checkpoint timers.
+func (c *CIC) Init(ctx *sim.Context) {
+	c.ctx = ctx
+	n := ctx.NumRanks()
+	c.idx = make([]int64, n)
+	c.last = make([]simtime.Time, n)
+	c.busyAt = make([]simtime.Duration, n)
+	for r := 0; r < n; r++ {
+		var off simtime.Duration
+		switch c.policy {
+		case Aligned:
+			off = 0
+		case Staggered:
+			off = simtime.Duration(int64(c.p.Interval) * int64(r) / int64(n))
+		case Random:
+			off = simtime.Duration(ctx.Rand().Intn(int(c.p.Interval)))
+		}
+		r := r
+		ctx.At(simtime.Time(0).Add(c.p.Interval+off), func() { c.fire(r) })
+	}
+}
+
+// fire takes one basic checkpoint: increment the rank's index and write.
+func (c *CIC) fire(rank int) {
+	fired := c.ctx.Now()
+	c.idx[rank]++
+	v := c.idx[rank]
+	c.p.write(c.ctx, rank, func(end simtime.Time) {
+		c.stats.Writes++
+		c.last[rank] = end
+		c.busyAt[rank] = c.ctx.RankBusy(rank)
+		c.ctx.Mark(rank, "cic-basic", v)
+		next := simtime.Max(fired.Add(c.p.Interval), end)
+		c.ctx.At(next, func() { c.fire(rank) })
+	})
+}
+
+// SendPenalty implements sim.SendHook: record the sender's index for the
+// in-flight message (the piggyback). No CPU is charged — indices ride in
+// the header.
+func (c *CIC) SendPenalty(src, dst int, bytes int64) simtime.Duration {
+	key := cicChan{int32(src), int32(dst)}
+	c.queues[key] = append(c.queues[key], c.idx[src])
+	return 0
+}
+
+// MessageMatched implements sim.MatchHook: compare the message's
+// piggybacked index against the receiver's. On lag ≥ threshold the receiver
+// adopts the sender's index and takes a forced checkpoint, scheduled before
+// the receive is processed (the engine grants seized work ahead of
+// application jobs).
+func (c *CIC) MessageMatched(src, dst int, bytes int64) {
+	key := cicChan{int32(src), int32(dst)}
+	q := c.queues[key]
+	if len(q) == 0 {
+		return
+	}
+	m := q[0]
+	c.queues[key] = q[1:]
+	if m-c.idx[dst] < c.lag {
+		return
+	}
+	c.idx[dst] = m
+	c.ctx.Mark(dst, "cic-force-due", m)
+	c.p.write(c.ctx, dst, func(end simtime.Time) {
+		c.stats.Writes++
+		c.stats.Forced++
+		c.last[dst] = end
+		c.busyAt[dst] = c.ctx.RankBusy(dst)
+		c.ctx.Mark(dst, "cic-forced", m)
+	})
+}
+
+// LagThreshold returns the configured index-lag threshold (see
+// validate.CICIntrospect).
+func (c *CIC) LagThreshold() int { return int(c.lag) }
+
+// Name implements Protocol.
+func (c *CIC) Name() string { return "cic" }
+
+// Stats implements Protocol.
+func (c *CIC) Stats() Stats { return c.stats }
+
+// LastCheckpoint implements Protocol: each rank recovers from its most
+// recent local checkpoint, basic or forced.
+func (c *CIC) LastCheckpoint(rank int) simtime.Time { return c.last[rank] }
+
+// ProgressAtCheckpoint implements Protocol.
+func (c *CIC) ProgressAtCheckpoint(rank int) simtime.Duration { return c.busyAt[rank] }
+
+var (
+	_ Protocol      = (*CIC)(nil)
+	_ sim.SendHook  = (*CIC)(nil)
+	_ sim.MatchHook = (*CIC)(nil)
+)

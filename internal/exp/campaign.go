@@ -9,6 +9,7 @@ import (
 	"checkpointsim/internal/cache"
 	"checkpointsim/internal/checkpoint"
 	"checkpointsim/internal/failure"
+	"checkpointsim/internal/goal"
 	"checkpointsim/internal/network"
 	"checkpointsim/internal/noise"
 	"checkpointsim/internal/report"
@@ -33,7 +34,7 @@ var (
 	// CampaignProtocols are the accepted protocol axis values.
 	CampaignProtocols = []string{"none", "coordinated", "uncoord-aligned",
 		"uncoord-staggered", "uncoord-random", "hierarchical", "nonblocking",
-		"partner", "twolevel"}
+		"partner", "twolevel", "replication", "cic"}
 	// CampaignFailureLaws are the accepted failure-law axis values.
 	CampaignFailureLaws = []string{"none", "exp", "weibull"}
 	// CampaignStorageTiers are the accepted storage-tier axis values.
@@ -139,6 +140,17 @@ func (s CampaignSpace) Validate() error {
 	}
 	if failing && !protocols {
 		return fmt.Errorf("campaign: failure laws %v need a checkpoint protocol to recover through, but the protocol axis is only \"none\"", s.FailureLaws)
+	}
+	if contains(s.Protocols, "replication") {
+		even := false
+		for _, p := range s.Scales {
+			if p%2 == 0 {
+				even = true
+			}
+		}
+		if !even {
+			return fmt.Errorf("campaign: replication pairs each application rank with a replica and needs an even scale, but scales %v are all odd", s.Scales)
+		}
 	}
 	return nil
 }
@@ -256,6 +268,9 @@ func (s CampaignSpace) point(seed uint64, i int) Scenario {
 		if sc.FailureLaw != "none" && sc.Protocol == "none" {
 			continue // Validate guarantees a recoverable combination exists
 		}
+		if sc.Protocol == "replication" && sc.Ranks%2 != 0 {
+			continue // Validate guarantees an even scale exists
+		}
 		sc.Seed = r.Uint64()
 		return sc
 	}
@@ -349,6 +364,13 @@ func (sc Scenario) build() (*scenarioConfig, error) {
 			LocalInterval: scenarioTau / 3, LocalWrite: scenarioDelta / 10,
 			GlobalInterval: scenarioTau, GlobalWrite: scenarioDelta,
 			Store: cfg.store})
+	case "replication":
+		// Degree 1, heartbeats at τ/2 so detection latency stays well under
+		// the failure interarrival time at every campaign scale.
+		cfg.proto, err = checkpoint.NewReplication(checkpoint.ReplicationParams{
+			HeartbeatPeriod: scenarioTau / 2})
+	case "cic":
+		cfg.proto, err = checkpoint.NewCIC(params, 1, checkpoint.Staggered)
 	default:
 		return nil, fmt.Errorf("campaign: unknown protocol %q", sc.Protocol)
 	}
@@ -407,6 +429,8 @@ func scenarioRecovery(protocol string) failure.RecoveryKind {
 		return failure.RollbackCluster
 	case "twolevel":
 		return failure.RecoverTwoLevel
+	case "replication":
+		return failure.TakeoverReplica
 	}
 	return failure.RollbackGlobal
 }
@@ -421,10 +445,17 @@ func (sc Scenario) Run(o Options) ([]*report.Table, error) {
 		return nil, err
 	}
 	net := o.net()
+	// Replication dedicates half the machine to replicas: the application
+	// runs on Ranks/2 ranks for twice the iterations (equal total work),
+	// embedded in the full Ranks-wide machine.
+	appRanks, appIters := sc.Ranks, scenarioIters
+	if sc.Protocol == "replication" {
+		appRanks, appIters = sc.Ranks/2, 2*scenarioIters
+	}
 	prog, err := workload.FromName(sc.Workload, workload.CommonConfig{
 		Base: workload.Base{
-			Ranks:      sc.Ranks,
-			Iterations: scenarioIters,
+			Ranks:      appRanks,
+			Iterations: appIters,
 			Compute:    scenarioCompute,
 			Jitter:     scenarioJitter,
 			Seed:       sc.Seed,
@@ -433,6 +464,12 @@ func (sc Scenario) Run(o Options) ([]*report.Table, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if appRanks != sc.Ranks {
+		prog, err = goal.Widen(prog, sc.Ranks)
+		if err != nil {
+			return nil, err
+		}
 	}
 	cfg, err := sc.build()
 	if err != nil {
@@ -474,6 +511,16 @@ func (sc Scenario) Run(o Options) ([]*report.Table, error) {
 			return nil, fmt.Errorf("%s: %w", sc.ID(), verr)
 		}
 	}
+	if rm, ok := cfg.proto.(validate.ReplicaMirror); ok {
+		if verr := chk.CheckReplication(rm); verr != nil {
+			return nil, fmt.Errorf("%s: %w", sc.ID(), verr)
+		}
+	}
+	if ci, ok := cfg.proto.(validate.CICIntrospect); ok {
+		if verr := chk.CheckCIC(ci); verr != nil {
+			return nil, fmt.Errorf("%s: %w", sc.ID(), verr)
+		}
+	}
 
 	st := cfg.proto.Stats()
 	t := report.NewTable("Campaign "+sc.ID(), "metric", "value")
@@ -483,7 +530,11 @@ func (sc Scenario) Run(o Options) ([]*report.Table, error) {
 	t.AddRow("ctl_messages", strconv.FormatInt(res.Metrics.CtlMessages, 10))
 	t.AddRow("ckpt_writes", strconv.FormatInt(st.Writes, 10))
 	t.AddRow("ckpt_rounds", strconv.FormatInt(st.Rounds, 10))
+	t.AddRow("ckpt_forced", strconv.FormatInt(st.Forced, 10))
 	t.AddRow("logged_messages", strconv.FormatInt(st.LoggedMessages, 10))
+	t.AddRow("mirrored_messages", strconv.FormatInt(st.MirroredMessages, 10))
+	t.AddRow("heartbeats", strconv.FormatInt(st.Heartbeats, 10))
+	t.AddRow("takeovers", strconv.FormatInt(st.Takeovers, 10))
 	if cfg.store != nil {
 		ss := cfg.store.Stats()
 		t.AddRow("storage_writes", strconv.FormatInt(ss.Writes, 10))

@@ -4,6 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"regexp"
+	"strconv"
+
 	"checkpointsim/internal/cache"
 	"checkpointsim/internal/report"
 )
@@ -244,5 +247,105 @@ func TestScenarioValidate(t *testing.T) {
 	bad.Ranks = 0
 	if err := bad.Validate(); err == nil {
 		t.Error("zero ranks accepted")
+	}
+}
+
+// metricValue pulls one metric's value out of a rendered scenario table.
+func metricValue(t *testing.T, rendered, metric string) int64 {
+	t.Helper()
+	m := regexp.MustCompile(metric + `\s+(-?\d+)`).FindStringSubmatch(rendered)
+	if m == nil {
+		t.Fatalf("metric %s missing from table:\n%s", metric, rendered)
+	}
+	v, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// The resilience protocols ride the protocol axis: the space advertises
+// them, replication refuses an all-odd scale axis, and scheduled
+// replication points always land on even scales.
+func TestCampaignResilienceAxis(t *testing.T) {
+	for _, p := range []string{"replication", "cic"} {
+		if !contains(CampaignProtocols, p) {
+			t.Errorf("%s missing from the protocol axis", p)
+		}
+	}
+	odd := DefaultCampaignSpace()
+	odd.Scales = []int{9, 27}
+	if err := odd.Validate(); err == nil || !strings.Contains(err.Error(), "even scale") {
+		t.Errorf("all-odd scales with replication: err = %v", err)
+	}
+	if err := (Scenario{Workload: "sweep", Ranks: 9, Protocol: "replication",
+		FailureLaw: "none", Storage: "none", Noise: "none"}).Validate(); err == nil {
+		t.Error("odd-rank replication scenario accepted")
+	}
+	mixed := DefaultCampaignSpace()
+	mixed.Scales = []int{8, 9, 16}
+	sched, err := mixed.Schedule(5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repl, cic int
+	for i, sc := range sched {
+		switch sc.Protocol {
+		case "replication":
+			repl++
+			if sc.Ranks%2 != 0 {
+				t.Errorf("point %d: replication scheduled on odd scale %d", i, sc.Ranks)
+			}
+		case "cic":
+			cic++
+		}
+	}
+	if repl == 0 || cic == 0 {
+		t.Errorf("400 points drew replication %d times and cic %d times — axis not sampled", repl, cic)
+	}
+}
+
+// A replication scenario absorbs its failures by takeover and mirrors
+// traffic; a CIC scenario forces checkpoints. Both pass the unconditional
+// scenario validation inside Run.
+func TestCampaignResilienceScenariosRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scenario simulations")
+	}
+	o := DefaultOptions()
+	// Seed 1 draws failures that land on primary ranks, so takeover is
+	// exercised non-vacuously (replica-rank failures need no takeover).
+	replSc := Scenario{Workload: "stencil2d", Ranks: 16, Protocol: "replication",
+		FailureLaw: "exp", Storage: "none", Noise: "none", Seed: 1}
+	tables, err := replSc.Run(o)
+	if err != nil {
+		t.Fatalf("%s: %v", replSc.ID(), err)
+	}
+	out := render(tables)
+	if metricValue(t, out, "mirrored_messages") == 0 {
+		t.Error("replication scenario mirrored nothing")
+	}
+	if metricValue(t, out, "heartbeats") == 0 {
+		t.Error("replication scenario sent no heartbeats")
+	}
+	if metricValue(t, out, "failures") == 0 {
+		t.Error("no failures injected — takeover untested")
+	}
+	if metricValue(t, out, "takeovers") == 0 {
+		t.Error("primary failures occurred but no replica took over")
+	}
+
+	cicSc := Scenario{Workload: "transpose", Ranks: 16, Protocol: "cic",
+		FailureLaw: "none", Storage: "pfs", Noise: "none", Seed: 4}
+	tables, err = cicSc.Run(o)
+	if err != nil {
+		t.Fatalf("%s: %v", cicSc.ID(), err)
+	}
+	out = render(tables)
+	if metricValue(t, out, "ckpt_writes") == 0 {
+		t.Error("CIC scenario wrote no checkpoints")
+	}
+	if metricValue(t, out, "ckpt_forced") == 0 {
+		t.Error("CIC scenario forced no checkpoints on the all-to-all workload")
 	}
 }

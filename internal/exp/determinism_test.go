@@ -46,12 +46,13 @@ func renderOpts(t *testing.T, id string, o Options) string {
 // parallel runs. E2, E4, and E8 cover the three point shapes (per-workload
 // baseline groups, (workload, scale) cells, and paired failure runs); E17
 // adds the store-routed grid, whose fair-share arbitration must be equally
-// scheduling-blind.
+// scheduling-blind; E18 and E19 add the replication and CIC protocol
+// families (capped cells, match-hook forcing).
 func TestParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs quick experiments")
 	}
-	for _, id := range []string{"E2", "E4", "E8", "E17"} {
+	for _, id := range []string{"E2", "E4", "E8", "E17", "E18", "E19"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

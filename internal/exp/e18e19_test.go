@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"testing"
+
+	"checkpointsim/internal/simtime"
+)
+
+// E18 oracle bounds: a replication run with failures can never beat the
+// failure-free replication layout (takeovers only stall), and the quick
+// grid must show the crossover the study predicts — replication wins the
+// failure-rich cells, checkpointing wins the failure-poor ones.
+func TestE18OracleBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs quick experiments")
+	}
+	o := DefaultOptions()
+	o.Quick = true
+	cells, err := e18Grid(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("empty grid")
+	}
+	var replWins, ckptWins int
+	for _, c := range cells {
+		if !c.capR && c.repl < c.replBase {
+			t.Errorf("P=%d θ=%v: replication with failures (%v) beat its failure-free floor (%v)",
+				c.ranks, c.mtbf, simtime.Duration(c.repl), simtime.Duration(c.replBase))
+		}
+		if c.capR {
+			t.Errorf("P=%d θ=%v: replication capped — takeover could not keep up", c.ranks, c.mtbf)
+		}
+		switch c.winner {
+		case "replication":
+			replWins++
+		case "coordinated", "uncoordinated":
+			ckptWins++
+		}
+		// The harshest cells: replication must win where coordinated
+		// checkpointing has already diverged past the cap.
+		if c.capC && c.winner != "replication" && !c.capR {
+			t.Errorf("P=%d θ=%v: coordinated diverged but %s won", c.ranks, c.mtbf, c.winner)
+		}
+	}
+	if replWins == 0 {
+		t.Error("replication never won a cell — no crossover")
+	}
+	if ckptWins == 0 {
+		t.Error("checkpointing never won a cell — no crossover")
+	}
+	// MTBF-normalized scale ordering: at the harshest MTBF replication wins,
+	// at the mildest a checkpointing protocol does.
+	for _, c := range cells {
+		if c.mtbf == 100*simtime.Millisecond && c.winner != "replication" {
+			t.Errorf("P=%d θ=100ms: want replication, got %s", c.ranks, c.winner)
+		}
+		if c.mtbf == simtime.Second && c.winner == "replication" {
+			t.Errorf("P=%d θ=1s: replication should lose the failure-poor cell", c.ranks)
+		}
+	}
+}
+
+// E19 oracle bounds: the CIC schedule can only add checkpoints on top of
+// the basic timer — total writes are bounded below by the basic-interval
+// count of the protocol-free run — forcing is damped monotonically by the
+// lag threshold, and forced load grows with communication intensity.
+func TestE19OracleBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs quick experiments")
+	}
+	o := DefaultOptions()
+	o.Quick = true
+	cells, err := e19Grid(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("empty grid")
+	}
+	// Constants mirrored from e19Grid (quick mode).
+	const (
+		ranks = 16
+		tau   = 2 * simtime.Millisecond
+		write = 500 * simtime.Microsecond
+	)
+	forcedAtLag := map[string]map[int]int64{}
+	for _, c := range cells {
+		if c.makespan < c.base {
+			t.Errorf("%s lag=%d: checkpointed run (%v) beat the protocol-free baseline (%v)",
+				c.workload, c.lag, simtime.Duration(c.makespan), simtime.Duration(c.base))
+		}
+		// Each rank's basic timer fires at least once per (τ+δ) of the
+		// baseline makespan; checkpointing only stretches the run further.
+		minBasic := int64(ranks) * (int64(c.base) / int64(tau+write))
+		if c.basic+c.forced < minBasic {
+			t.Errorf("%s lag=%d: %d checkpoints, below the basic-interval floor %d",
+				c.workload, c.lag, c.basic+c.forced, minBasic)
+		}
+		if c.forced < 0 || c.basic <= 0 {
+			t.Errorf("%s lag=%d: degenerate counts basic=%d forced=%d", c.workload, c.lag, c.basic, c.forced)
+		}
+		if forcedAtLag[c.workload] == nil {
+			forcedAtLag[c.workload] = map[int]int64{}
+		}
+		forcedAtLag[c.workload][c.lag] = c.forced
+	}
+	for wl, byLag := range forcedAtLag {
+		if byLag[2] > byLag[1] || byLag[4] > byLag[2] {
+			t.Errorf("%s: forcing not damped by lag: lag1=%d lag2=%d lag4=%d",
+				wl, byLag[1], byLag[2], byLag[4])
+		}
+	}
+	// Forced load grows with communication intensity at the Z-path-free
+	// threshold: cells arrive workload-major ordered by construction, and
+	// the workload list is ordered by msgs/rank/τ.
+	var lastIntensity float64 = -1
+	var lastForced int64 = -1
+	for _, c := range cells {
+		if c.lag != 1 {
+			continue
+		}
+		if c.msgsPerTau < lastIntensity {
+			t.Errorf("workload order not by intensity: %s at %.1f after %.1f",
+				c.workload, c.msgsPerTau, lastIntensity)
+		}
+		if c.forced < lastForced {
+			t.Errorf("%s: forced %d fell below the less-communicating predecessor's %d",
+				c.workload, c.forced, lastForced)
+		}
+		lastIntensity, lastForced = c.msgsPerTau, c.forced
+	}
+	if lastForced == 0 {
+		t.Error("no workload forced a checkpoint — amplification axis vacuous")
+	}
+}

@@ -126,6 +126,8 @@ func All() []Experiment {
 		{"E15", "Noise-shape resonance", "fixed duty cycle, swept interruption granularity (why checkpoints are the worst noise)", "BenchmarkE15Resonance", E15Resonance},
 		{"E16", "Two-level checkpointing", "single-level vs multilevel (SCR/FTI-class) under failures, swept local coverage", "BenchmarkE16TwoLevel", E16TwoLevel},
 		{"E17", "Storage contention map", "overhead vs (scale x aggregate PFS bandwidth): coordinated vs staggered writes through a shared store", "BenchmarkE17Contention", E17Contention},
+		{"E18", "Replication crossover", "three-way coordinated vs uncoordinated vs replication over (scale x MTBF): 2x resources but no rollback", "BenchmarkE18Replication", E18Replication},
+		{"E19", "CIC forced-checkpoint amplification", "index-based communication-induced checkpointing: forced writes vs communication intensity and lag threshold", "BenchmarkE19CIC", E19CIC},
 	}
 }
 
@@ -197,6 +199,16 @@ func simulate(o Options, net network.Params, prog *goal.Program, seed uint64, ma
 	for _, a := range agents {
 		if tl, ok := a.(validate.TaxedLogger); ok {
 			if verr := chk.CheckLogging(tl); verr != nil {
+				return nil, verr
+			}
+		}
+		if rm, ok := a.(validate.ReplicaMirror); ok {
+			if verr := chk.CheckReplication(rm); verr != nil {
+				return nil, verr
+			}
+		}
+		if ci, ok := a.(validate.CICIntrospect); ok {
+			if verr := chk.CheckCIC(ci); verr != nil {
 				return nil, verr
 			}
 		}

@@ -8,8 +8,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("expected 17 experiments, have %d", len(all))
+	if len(all) != 19 {
+		t.Fatalf("expected 19 experiments, have %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -48,6 +48,11 @@ const (
 	// through to the global line (Restart + rework since the global line).
 	// Requires a checkpoint.TwoLevel-style protocol.
 	RecoverTwoLevel
+	// TakeoverReplica hands failures to a replication protocol: a failed
+	// primary stalls only for heartbeat detection plus replica promotion —
+	// no work is ever lost — and a failed spare replica costs nothing.
+	// Requires a protocol implementing ReplicaProtocol.
+	TakeoverReplica
 )
 
 // String names the recovery kind.
@@ -61,6 +66,8 @@ func (k RecoveryKind) String() string {
 		return "cluster-rollback"
 	case RecoverTwoLevel:
 		return "two-level"
+	case TakeoverReplica:
+		return "replica-takeover"
 	}
 	return fmt.Sprintf("recovery(%d)", uint8(k))
 }
@@ -105,7 +112,7 @@ func (c Config) Validate() error {
 	if c.ReplaySpeedup != 0 && c.ReplaySpeedup < 1 {
 		return fmt.Errorf("failure: replay speedup %v < 1", c.ReplaySpeedup)
 	}
-	if c.Kind > RecoverTwoLevel {
+	if c.Kind > TakeoverReplica {
 		return fmt.Errorf("failure: unknown recovery kind %d", c.Kind)
 	}
 	if c.LocalCoverage < 0 || c.LocalCoverage > 1 || math.IsNaN(c.LocalCoverage) {
@@ -177,6 +184,16 @@ type TwoLevelProtocol interface {
 	GlobalProgressAt(rank int) simtime.Duration
 }
 
+// ReplicaProtocol is the extra capability TakeoverReplica needs: a protocol
+// that absorbs a rank failure by replica takeover. Takeover returns the
+// logical rank that stalls, the CPU seizure modeling detection plus
+// promotion, and whether the failure stalls the application at all (a
+// spare-replica loss does not).
+type ReplicaProtocol interface {
+	checkpoint.Protocol
+	Takeover(victim int, now simtime.Time) (rank int, cost simtime.Duration, stalls bool)
+}
+
 // NewInjector builds a failure injector coupled to the protocol that
 // defines the recovery lines.
 func NewInjector(cfg Config, proto checkpoint.Protocol) (*Injector, error) {
@@ -195,6 +212,12 @@ func NewInjector(cfg Config, proto checkpoint.Protocol) (*Injector, error) {
 	if cfg.Kind == RecoverTwoLevel {
 		if _, ok := proto.(TwoLevelProtocol); !ok {
 			return nil, fmt.Errorf("failure: two-level recovery needs a two-level protocol (have %s)",
+				proto.Name())
+		}
+	}
+	if cfg.Kind == TakeoverReplica {
+		if _, ok := proto.(ReplicaProtocol); !ok {
+			return nil, fmt.Errorf("failure: replica takeover needs a replication protocol (have %s)",
 				proto.Name())
 		}
 	}
@@ -310,6 +333,18 @@ func (f *Injector) fail() {
 			}
 			f.evts = append(f.evts, Event{Time: now, Rank: victim,
 				LostWork: maxRework, Recovery: f.cfg.Restart + maxRework})
+		}
+	case TakeoverReplica:
+		// No rollback ever: a failed primary stalls for detection plus
+		// promotion while its replica takes over with all progress intact;
+		// a failed spare replica is absorbed for free.
+		f.ctx.Mark(victim, "rep-failure", int64(victim))
+		rank, cost, stalls := f.proto.(ReplicaProtocol).Takeover(victim, now)
+		if stalls {
+			f.ctx.SeizeCPU(rank, cost, Reason, nil)
+			f.evts = append(f.evts, Event{Time: now, Rank: victim, Recovery: cost})
+		} else {
+			f.evts = append(f.evts, Event{Time: now, Rank: victim})
 		}
 	}
 	f.scheduleNext()

@@ -309,3 +309,90 @@ func TestTwoLevelConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+// replicationProg embeds an 8-rank stencil in a 16-rank machine so the
+// upper half serves as replicas.
+func replicationProg(t *testing.T) *goal.Program {
+	t.Helper()
+	p := stencilProg(t, 8, 40)
+	w, err := goal.Widen(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func runReplication(t *testing.T, cfg Config) (*sim.Result, *Injector, *checkpoint.Replication) {
+	t.Helper()
+	rp, err := checkpoint.NewReplication(checkpoint.ReplicationParams{
+		HeartbeatPeriod: 500 * simtime.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agents []sim.Agent
+	var inj *Injector
+	agents = append(agents, rp)
+	if cfg != (Config{}) {
+		inj, err = NewInjector(cfg, rp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, inj)
+	}
+	e, err := sim.New(sim.Config{Net: network.DefaultParams(), Program: replicationProg(t),
+		Agents: agents, Seed: 16, MaxTime: simtime.Time(5 * simtime.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, inj, rp
+}
+
+// Replica takeover absorbs every failure without losing work: failures
+// stall at most the victim's pair, and the run can only slow down relative
+// to the failure-free replication layout.
+func TestReplicaTakeoverLosesNoWork(t *testing.T) {
+	rFree, _, _ := runReplication(t, Config{})
+	cfg := Config{MTBF: 40 * simtime.Millisecond, Restart: 100 * simtime.Microsecond,
+		Kind: TakeoverReplica}
+	r, inj, rp := runReplication(t, cfg)
+	if len(inj.Events()) == 0 {
+		t.Fatal("no failures injected — takeover semantics untested")
+	}
+	if rp.Stats().Takeovers == 0 {
+		t.Fatal("no primary takeovers occurred")
+	}
+	for _, ev := range inj.Events() {
+		if ev.LostWork != 0 {
+			t.Errorf("failure at %v on rank %d lost %v work; replication loses none",
+				simtime.Duration(ev.Time), ev.Rank, ev.LostWork)
+		}
+	}
+	if r.Makespan < rFree.Makespan {
+		t.Errorf("failing run (%v) beat the failure-free run (%v)",
+			simtime.Duration(r.Makespan), simtime.Duration(rFree.Makespan))
+	}
+	// Only primary failures stall a rank; the seizure count must equal the
+	// protocol's takeover count, never the full failure count.
+	if r.SeizedCount[Reason] != rp.Stats().Takeovers {
+		t.Errorf("recovery seizures = %d, want one per takeover (%d)",
+			r.SeizedCount[Reason], rp.Stats().Takeovers)
+	}
+}
+
+// The takeover recovery kind demands a protocol that can absorb failures.
+func TestTakeoverRequiresReplicaProtocol(t *testing.T) {
+	cp, _ := checkpoint.NewCoordinated(checkpoint.Params{
+		Interval: 5 * simtime.Millisecond, Write: 100 * simtime.Microsecond})
+	cfg := Config{MTBF: 640 * simtime.Millisecond, Restart: simtime.Millisecond,
+		Kind: TakeoverReplica}
+	if _, err := NewInjector(cfg, cp); err == nil {
+		t.Fatal("takeover recovery accepted a non-replica protocol")
+	}
+	if TakeoverReplica.String() != "replica-takeover" {
+		t.Errorf("kind name %q", TakeoverReplica.String())
+	}
+}

@@ -13,7 +13,7 @@ import (
 // The cache-hit-equals-fresh-run property, end to end, for every
 // experiment: a direct in-process run, the server's cold (computed)
 // response, and the server's warm (cached) response must all be
-// byte-identical. Quick scale keeps all 17 affordable under -race.
+// byte-identical. Quick scale keeps all 19 affordable under -race.
 func TestCachedResultMatchesFreshRunAllExperiments(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 4})
 	for _, e := range exp.All() {

@@ -103,10 +103,10 @@ func TestExperimentsList(t *testing.T) {
 	if err := json.Unmarshal(readBody(t, resp), &list); err != nil {
 		t.Fatal(err)
 	}
-	if len(list) != 17 {
-		t.Fatalf("%d experiments listed, want 17", len(list))
+	if len(list) != 19 {
+		t.Fatalf("%d experiments listed, want 19", len(list))
 	}
-	if list[0].ID != "E1" || list[16].ID != "E17" {
+	if list[0].ID != "E1" || list[18].ID != "E19" {
 		t.Errorf("unexpected ordering: %s..%s", list[0].ID, list[16].ID)
 	}
 }

@@ -72,6 +72,18 @@ type SendHook interface {
 	SendPenalty(src, dst int, bytes int64) simtime.Duration
 }
 
+// MatchHook is implemented by agents that observe application-message
+// matches on the receiving rank — communication-induced checkpointing
+// inspects piggybacked checkpoint indices this way. The hook runs at match
+// time, before the receive-processing job is queued, so CPU seizures the
+// agent schedules from it (a forced checkpoint) are granted ahead of the
+// message's processing: the dispatcher prefers seized work over
+// application jobs. For rendezvous transfers the hook fires at envelope
+// match (piggybacked state rides in the header, not the payload).
+type MatchHook interface {
+	MessageMatched(src, dst int, bytes int64)
+}
+
 // Config describes one simulation.
 type Config struct {
 	// Net is the LogGOPS parameter set.
@@ -338,6 +350,7 @@ type Engine struct {
 	depsLeft   []int32
 	opsLeft    int
 	hooks      []SendHook
+	matchHooks []MatchHook
 	rand       *rng.Source
 	events     int64
 	metrics    Metrics
@@ -402,6 +415,9 @@ func New(cfg Config) (*Engine, error) {
 	for _, a := range cfg.Agents {
 		if h, ok := a.(SendHook); ok {
 			e.hooks = append(e.hooks, h)
+		}
+		if h, ok := a.(MatchHook); ok {
+			e.matchHooks = append(e.matchHooks, h)
 		}
 	}
 	return e, nil
@@ -805,6 +821,9 @@ func (e *Engine) matched(m *message, recvOp goal.OpID) {
 		e.cfg.Trace(TraceEvent{Type: TraceMatch, Rank: int(m.dst), Kind: msgKindName(m.kind),
 			Start: e.now, End: e.now, MsgID: m.id, Src: int(m.src), Dst: int(m.dst),
 			Tag: m.tag, Bytes: m.bytes, Op: m.op, RecvOp: recvOp})
+	}
+	for _, h := range e.matchHooks {
+		h.MessageMatched(int(m.src), int(m.dst), m.bytes)
 	}
 	switch m.kind {
 	case msgEager:

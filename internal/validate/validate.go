@@ -33,7 +33,15 @@
 //     closed and no application job is mid-flight (groups of ≥ 2 ranks),
 //     and round markers follow the start → commit → end state machine.
 //     Uncoordinated/hierarchical logging charges α + round(β·bytes) on
-//     exactly the senders the policy taxes (CheckLogging).
+//     exactly the senders the policy taxes (CheckLogging). CIC checkpoint
+//     indices are strictly monotone per rank, every announced forced
+//     checkpoint ("cic-force-due") completes before the rank's next
+//     application-class grant (no unforced Z-cycle), and forced writes are
+//     justified by a pending induction; protocol counters reconcile against
+//     the marker stream (CheckCIC). Replication mirrors every
+//     primary-to-primary application send to exactly degree replicas and
+//     absorbs each injected failure by at most one takeover
+//     ("rep-failure"/"rep-takeover" pairing; CheckReplication).
 //
 // A Checker is single-run state: build one per simulation with New, feed
 // it every trace event (Hook adapts it to sim.Config.Trace), then call
@@ -93,6 +101,12 @@ type rankState struct {
 
 	holdDepth int64
 
+	// CIC streaming state: the rank's highest completed checkpoint index
+	// and the highest forced-checkpoint index announced but not yet
+	// completed (0 = none pending).
+	cicIdx     int64
+	cicPending int64
+
 	app, ctl, seized simtime.Duration
 	maxAppEnd        simtime.Time
 	sawApp           bool
@@ -124,6 +138,11 @@ type Checker struct {
 	// Storage conservation counters.
 	storeBegunBytes, storeEndedBytes int64
 	storeBegun, storeEnded           int64
+
+	// Replication/CIC reconciliation counters.
+	takeoverPending        map[int]int // victim rank → unabsorbed failures
+	nTakeovers             int64
+	nCICWrites, nCICForced int64
 
 	violations []string
 	dropped    int64
@@ -270,6 +289,10 @@ func (c *Checker) addGrant(ev sim.TraceEvent) {
 	if class(ev.Kind) == "app" && st.holdDepth > 0 {
 		c.fail("rank %d: quiesce violation: app job %q granted at %v with %d hold gate(s) closed",
 			ev.Rank, ev.Kind, ev.Start, st.holdDepth)
+	}
+	if class(ev.Kind) == "app" && st.cicPending > 0 {
+		c.fail("rank %d: unforced Z-cycle: app job %q granted at %v with forced checkpoint (index %d) still due",
+			ev.Rank, ev.Kind, ev.Start, st.cicPending)
 	}
 	if ev.Detail != st.holdDepth {
 		c.fail("rank %d: grant at %v reports hold depth %d, stream says %d",
@@ -504,6 +527,44 @@ func (c *Checker) addPhase(ev sim.TraceEvent) {
 				ev.Rank, ev.Start, st.roundPhase)
 		}
 		st.roundPhase = 0
+	case "cic-basic", "cic-forced":
+		if ev.Detail <= st.cicIdx {
+			c.fail("rank %d: checkpoint index not monotone: %s index %d at %v after index %d",
+				ev.Rank, ev.Kind, ev.Detail, ev.Start, st.cicIdx)
+		}
+		st.cicIdx = ev.Detail
+		c.nCICWrites++
+		if ev.Kind == "cic-forced" {
+			c.nCICForced++
+			if st.cicPending == 0 {
+				c.fail("rank %d: forced checkpoint (index %d) at %v without a pending induction",
+					ev.Rank, ev.Detail, ev.Start)
+			} else if ev.Detail >= st.cicPending {
+				st.cicPending = 0
+			}
+		}
+	case "cic-force-due":
+		if ev.Detail <= st.cicIdx {
+			c.fail("rank %d: forced checkpoint due for index %d at %v, but the rank's index is already %d",
+				ev.Rank, ev.Detail, ev.Start, st.cicIdx)
+		}
+		if ev.Detail > st.cicPending {
+			st.cicPending = ev.Detail
+		}
+	case "rep-failure":
+		if c.takeoverPending == nil {
+			c.takeoverPending = make(map[int]int)
+		}
+		c.takeoverPending[int(ev.Detail)]++
+	case "rep-takeover":
+		c.nTakeovers++
+		v := int(ev.Detail)
+		if c.takeoverPending[v] == 0 {
+			c.fail("rank %d: takeover of rank %d at %v without a pending failure (double takeover)",
+				ev.Rank, v, ev.Start)
+		} else {
+			c.takeoverPending[v]--
+		}
 	case "store-begin":
 		st.storeQ = append(st.storeQ, ev.Detail)
 		c.storeBegun++
@@ -677,6 +738,70 @@ func (c *Checker) CheckLogging(p TaxedLogger) error {
 	if st.LogPenalty != penalty {
 		c.fail("logging: protocol charged %v CPU, α+β·bytes over taxed sends is %v",
 			st.LogPenalty, penalty)
+	}
+	return c.Err()
+}
+
+// ReplicaMirror is the introspection surface of a replication protocol: its
+// accumulated stats, replica degree, and primary/replica split.
+type ReplicaMirror interface {
+	Stats() checkpoint.Stats
+	Degree() int
+	AppRanks() int
+}
+
+// CheckReplication recomputes replica-pair mirroring from the traced
+// application sends — every primary→primary send must be duplicated to
+// exactly Degree replicas — and requires the protocol's counters to match,
+// along with takeover exclusivity: the protocol's absorbed-takeover count
+// must equal the traced "rep-takeover" markers (each of which the streaming
+// check already paired against a distinct "rep-failure"). Call after the
+// run.
+func (c *Checker) CheckReplication(p ReplicaMirror) error {
+	d := int64(p.Degree())
+	app := p.AppRanks()
+	var nMsgs, nBytes int64
+	for _, s := range c.appSends {
+		if s.src >= app || s.dst >= app {
+			continue
+		}
+		nMsgs += d
+		nBytes += d * s.bytes
+	}
+	st := p.Stats()
+	if st.MirroredMessages != nMsgs {
+		c.fail("replication: protocol mirrored %d messages, trace requires %d (degree %d over primary sends)",
+			st.MirroredMessages, nMsgs, d)
+	}
+	if st.MirroredBytes != nBytes {
+		c.fail("replication: protocol mirrored %d B, trace requires %d B", st.MirroredBytes, nBytes)
+	}
+	if st.Takeovers != c.nTakeovers {
+		c.fail("replication: protocol absorbed %d takeovers, trace shows %d", st.Takeovers, c.nTakeovers)
+	}
+	return c.Err()
+}
+
+// CICIntrospect is the introspection surface of a communication-induced
+// checkpointing protocol.
+type CICIntrospect interface {
+	Stats() checkpoint.Stats
+	LagThreshold() int
+}
+
+// CheckCIC reconciles the protocol's checkpoint counters against the
+// marker stream: completed writes against "cic-basic"/"cic-forced" markers
+// and forced writes against "cic-forced" alone (both are emitted at write
+// completion, so in-flight writes at exit cancel exactly). The streaming
+// checks already enforced index monotonicity and forced-checkpoint
+// justification per rank. Call after the run.
+func (c *Checker) CheckCIC(p CICIntrospect) error {
+	st := p.Stats()
+	if st.Writes != c.nCICWrites {
+		c.fail("cic: protocol wrote %d checkpoints, trace shows %d markers", st.Writes, c.nCICWrites)
+	}
+	if st.Forced != c.nCICForced {
+		c.fail("cic: protocol forced %d checkpoints, trace shows %d markers", st.Forced, c.nCICForced)
 	}
 	return c.Err()
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"checkpointsim/internal/checkpoint"
+	"checkpointsim/internal/failure"
 	"checkpointsim/internal/goal"
 	"checkpointsim/internal/network"
 	"checkpointsim/internal/sim"
@@ -423,6 +424,266 @@ func FuzzValidateTrace(f *testing.F) {
 		}
 		if err := replay(net, events, res); err == nil {
 			t.Fatalf("corrupted trace accepted (mode %d, event %d, delta %d)", mode, i, d)
+		}
+	})
+}
+
+// replicationScenario records a replication run with injected failures:
+// a 2-rank ring application embedded in a 4-rank machine (the upper two
+// ranks are replicas), failing often enough that takeovers occur.
+func replicationScenario(t testing.TB) (*checkpoint.Replication, []sim.TraceEvent, *sim.Result) {
+	t.Helper()
+	rp, err := checkpoint.NewReplication(checkpoint.ReplicationParams{
+		HeartbeatPeriod: 200 * simtime.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := failure.NewInjector(failure.Config{
+		MTBF: 2 * simtime.Millisecond, Restart: 50 * simtime.Microsecond,
+		Kind: failure.TakeoverReplica,
+	}, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := ringProgram(2, 20, smallMsg, bigMsg, 50*simtime.Microsecond)
+	wide, err := goal.Widen(prog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, res := runTraced(t, network.DefaultParams(), wide, rp, inj)
+	return rp, events, res
+}
+
+// cicScenario records a CIC run on a ring busy enough that the lag-1 rule
+// forces checkpoints.
+func cicScenario(t testing.TB) (*checkpoint.CIC, []sim.TraceEvent, *sim.Result) {
+	t.Helper()
+	// The 1ms interval spreads the staggered offsets wide enough that rank
+	// indices diverge while messages are in flight — the lag-1 rule forces.
+	cic, err := checkpoint.NewCIC(checkpoint.Params{
+		Interval: simtime.Millisecond,
+		Write:    100 * simtime.Microsecond,
+	}, 1, checkpoint.Staggered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := ringProgram(4, 20, smallMsg, bigMsg, 50*simtime.Microsecond)
+	events, res := runTraced(t, network.DefaultParams(), prog, cic)
+	return cic, events, res
+}
+
+// A real replication run must pass the stream checks and the mirror/takeover
+// reconciliation, and the scenario must actually exercise both.
+func TestValidReplicationTracePasses(t *testing.T) {
+	rp, events, res := replicationScenario(t)
+	net := network.DefaultParams()
+	c := validate.New(net)
+	for _, ev := range events {
+		c.Add(ev)
+	}
+	if err := c.Finish(res); err != nil {
+		t.Fatalf("valid replication trace rejected: %v", err)
+	}
+	if err := c.CheckReplication(rp); err != nil {
+		t.Fatalf("consistent replication rejected: %v", err)
+	}
+	st := rp.Stats()
+	if st.MirroredMessages == 0 {
+		t.Fatal("scenario mirrored no messages — mirror check was vacuous")
+	}
+	if st.Takeovers == 0 {
+		t.Fatal("scenario absorbed no takeovers — takeover check was vacuous")
+	}
+}
+
+// A real CIC run must pass the stream checks and the counter
+// reconciliation, and the scenario must actually force checkpoints.
+func TestValidCICTracePasses(t *testing.T) {
+	cic, events, res := cicScenario(t)
+	net := network.DefaultParams()
+	c := validate.New(net)
+	for _, ev := range events {
+		c.Add(ev)
+	}
+	if err := c.Finish(res); err != nil {
+		t.Fatalf("valid CIC trace rejected: %v", err)
+	}
+	if err := c.CheckCIC(cic); err != nil {
+		t.Fatalf("consistent CIC rejected: %v", err)
+	}
+	if cic.Stats().Forced == 0 {
+		t.Fatal("scenario forced no checkpoints — Z-cycle check was vacuous")
+	}
+}
+
+// fakeReplica doctors a real replication protocol's stats.
+type fakeReplica struct {
+	validate.ReplicaMirror
+	stats checkpoint.Stats
+}
+
+func (f fakeReplica) Stats() checkpoint.Stats { return f.stats }
+
+// fakeCIC doctors a real CIC protocol's stats.
+type fakeCIC struct {
+	validate.CICIntrospect
+	stats checkpoint.Stats
+}
+
+func (f fakeCIC) Stats() checkpoint.Stats { return f.stats }
+
+// Each targeted corruption of the replication-family invariants must be
+// rejected with a violation naming the right family.
+func TestCorruptedReplicationRejected(t *testing.T) {
+	rp, base, res := replicationScenario(t)
+	net := network.DefaultParams()
+	feed := func(events []sim.TraceEvent) *validate.Checker {
+		c := validate.New(net)
+		for _, ev := range events {
+			c.Add(ev)
+		}
+		return c
+	}
+
+	t.Run("dropped-mirror", func(t *testing.T) {
+		// The protocol claims one fewer mirrored message than the traced
+		// primary→primary sends require.
+		c := feed(base)
+		if err := c.Finish(res); err != nil {
+			t.Fatalf("valid trace rejected: %v", err)
+		}
+		st := rp.Stats()
+		st.MirroredMessages--
+		st.MirroredBytes -= smallMsg
+		err := c.CheckReplication(fakeReplica{ReplicaMirror: rp, stats: st})
+		if err == nil {
+			t.Fatal("dropped replica mirror accepted")
+		}
+		if !strings.Contains(err.Error(), "mirrored") {
+			t.Errorf("violation %q does not mention mirroring", err)
+		}
+	})
+
+	t.Run("double-takeover", func(t *testing.T) {
+		// Duplicate a rep-takeover marker: two takeovers absorb one failure.
+		events := append([]sim.TraceEvent(nil), base...)
+		i := -1
+		for j, ev := range events {
+			if ev.Type == sim.TracePhase && ev.Kind == "rep-takeover" {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			t.Fatal("scenario has no takeover to duplicate")
+		}
+		events = append(events, sim.TraceEvent{})
+		copy(events[i+1:], events[i:])
+		events[i+1] = events[i]
+		err := feed(events).Err()
+		if err == nil {
+			t.Fatal("double takeover accepted")
+		}
+		if !strings.Contains(err.Error(), "double takeover") {
+			t.Errorf("violation %q does not mention double takeover", err)
+		}
+	})
+
+	t.Run("takeover-drift", func(t *testing.T) {
+		// The protocol claims more absorbed takeovers than the trace shows.
+		c := feed(base)
+		if err := c.Finish(res); err != nil {
+			t.Fatalf("valid trace rejected: %v", err)
+		}
+		st := rp.Stats()
+		st.Takeovers++
+		if err := c.CheckReplication(fakeReplica{ReplicaMirror: rp, stats: st}); err == nil {
+			t.Fatal("takeover-count drift accepted")
+		}
+	})
+}
+
+// Each targeted corruption of the CIC-family invariants must be rejected
+// with a violation naming the right family.
+func TestCorruptedCICRejected(t *testing.T) {
+	cic, base, res := cicScenario(t)
+	net := network.DefaultParams()
+	feed := func(events []sim.TraceEvent) *validate.Checker {
+		c := validate.New(net)
+		for _, ev := range events {
+			c.Add(ev)
+		}
+		return c
+	}
+	find := func(events []sim.TraceEvent, kind string) int {
+		for i, ev := range events {
+			if ev.Type == sim.TracePhase && ev.Kind == kind {
+				return i
+			}
+		}
+		t.Fatalf("scenario lacks a %q marker", kind)
+		return -1
+	}
+
+	t.Run("non-monotone-index", func(t *testing.T) {
+		// Replay a checkpoint index the rank has already completed.
+		events := append([]sim.TraceEvent(nil), base...)
+		i := find(events, "cic-basic")
+		dup := events[i]
+		events = append(events, sim.TraceEvent{})
+		copy(events[i+1:], events[i:])
+		events[i+1] = dup
+		err := feed(events).Err()
+		if err == nil {
+			t.Fatal("non-monotone checkpoint index accepted")
+		}
+		if !strings.Contains(err.Error(), "monotone") {
+			t.Errorf("violation %q does not mention monotonicity", err)
+		}
+	})
+
+	t.Run("unforced-z-cycle", func(t *testing.T) {
+		// Delete a forced-checkpoint completion: the announced induction is
+		// never honored, so the rank's next application grant closes a
+		// Z-cycle.
+		events := append([]sim.TraceEvent(nil), base...)
+		i := find(events, "cic-forced")
+		events = append(events[:i], events[i+1:]...)
+		err := feed(events).Err()
+		if err == nil {
+			t.Fatal("unforced Z-cycle accepted")
+		}
+		if !strings.Contains(err.Error(), "Z-cycle") {
+			t.Errorf("violation %q does not mention the Z-cycle", err)
+		}
+	})
+
+	t.Run("unjustified-forced", func(t *testing.T) {
+		// A forced checkpoint with no pending induction.
+		events := append([]sim.TraceEvent(nil), base...)
+		i := find(events, "cic-force-due")
+		events[i].Kind = "cic-basic" // the announcement disappears
+		err := feed(events).Err()
+		if err == nil {
+			t.Fatal("unjustified forced checkpoint accepted")
+		}
+	})
+
+	t.Run("write-count-drift", func(t *testing.T) {
+		// The protocol claims more forced writes than the marker stream.
+		c := feed(base)
+		if err := c.Finish(res); err != nil {
+			t.Fatalf("valid trace rejected: %v", err)
+		}
+		st := cic.Stats()
+		st.Forced++
+		err := c.CheckCIC(fakeCIC{CICIntrospect: cic, stats: st})
+		if err == nil {
+			t.Fatal("forced-count drift accepted")
+		}
+		if !strings.Contains(err.Error(), "forced") {
+			t.Errorf("violation %q does not mention forced writes", err)
 		}
 	})
 }

@@ -1,0 +1,96 @@
+package checkpointsim
+
+import "testing"
+
+// Run widens the machine for ProtoReplication: the configured ranks are
+// the application, and each primary gets a live replica node. Takeover
+// recovery then absorbs failures without losing work.
+func TestRunReplicationFacade(t *testing.T) {
+	res, err := Run(RunConfig{
+		Workload:   "stencil2d",
+		Ranks:      8,
+		Iterations: 40,
+		Compute:    Millisecond,
+		MsgBytes:   2048,
+		Seed:       16,
+		Protocol:   ProtocolConfig{Kind: ProtoReplication},
+		Failures:   &FailureConfig{MTBF: 40 * Millisecond, Restart: 100 * Microsecond, Kind: RecoverTakeover},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.RankFinish); got != 16 {
+		t.Fatalf("machine spans %d ranks, want 16 (8 primaries + 8 replicas)", got)
+	}
+	st := res.Protocol.Stats()
+	if st.MirroredMessages == 0 || st.Heartbeats == 0 {
+		t.Errorf("replication idle: mirrored=%d heartbeats=%d", st.MirroredMessages, st.Heartbeats)
+	}
+	if len(res.FailureEvents) == 0 {
+		t.Fatal("no failures injected — takeover untested")
+	}
+	for _, ev := range res.FailureEvents {
+		if ev.LostWork != 0 {
+			t.Errorf("rank %d lost %v of work under replica takeover", ev.Rank, ev.LostWork)
+		}
+	}
+	if st.Takeovers == 0 {
+		t.Error("failures occurred but no replica took over")
+	}
+}
+
+// ProtoCIC through the facade: the basic timer writes and lagged indices
+// force additional checkpoints.
+func TestRunCICFacade(t *testing.T) {
+	res, err := Run(RunConfig{
+		Workload:   "stencil2d",
+		Ranks:      16,
+		Iterations: 60,
+		Compute:    Millisecond,
+		MsgBytes:   2048,
+		Seed:       3,
+		Protocol: ProtocolConfig{Kind: ProtoCIC,
+			Interval: 2 * Millisecond, Write: 100 * Microsecond, CICLag: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Protocol.Stats()
+	if st.Writes == 0 {
+		t.Fatal("CIC wrote no checkpoints")
+	}
+	if st.Forced == 0 {
+		t.Error("no forced checkpoints — communication induced nothing")
+	}
+	if st.Forced > st.Writes {
+		t.Errorf("forced %d exceeds total writes %d", st.Forced, st.Writes)
+	}
+}
+
+// The explicit constructors validate their inputs like the kind switch.
+func TestResilienceProtocolConstructors(t *testing.T) {
+	rp, err := NewReplicationProtocol(ReplicationParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "replication" {
+		t.Errorf("name = %q", rp.Name())
+	}
+	if _, err := NewReplicationProtocol(ReplicationParams{Degree: -1}); err == nil {
+		t.Error("negative degree accepted")
+	}
+	p := CheckpointParams{Interval: 2 * Millisecond, Write: 100 * Microsecond}
+	cic, err := NewCICProtocol(p, 1, "staggered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cic.Name() != "cic" {
+		t.Errorf("name = %q", cic.Name())
+	}
+	if _, err := NewCICProtocol(p, 1, "sideways"); err == nil {
+		t.Error("bad offset policy accepted")
+	}
+	if _, err := NewCICProtocol(CheckpointParams{}, 1, "staggered"); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
