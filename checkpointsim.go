@@ -115,6 +115,10 @@ type (
 	// TraceEvent is one record on the engine's trace channel (CPU
 	// occupancies plus grant/message/phase events; see sim.TraceEvent).
 	TraceEvent = sim.TraceEvent
+	// Snapshot is one captured simulator state: a versioned, digest-tagged
+	// blob restorable into a fresh Engine (see sim.Snapshot and
+	// Engine.Restore for the determinism contract).
+	Snapshot = sim.Snapshot
 	// TraceType discriminates trace records; consumers that only want CPU
 	// occupancies filter on TraceCPU.
 	TraceType = sim.TraceType
@@ -427,6 +431,21 @@ type RunConfig struct {
 	// MaxTime aborts runs whose virtual time exceeds this (0 = unlimited);
 	// useful with failure rates the machine cannot outrun.
 	MaxTime Time
+	// SnapshotEvery, when > 0, captures a snapshot of the complete
+	// simulator state roughly every that many events, at the next safe
+	// boundary, and delivers each to OnSnapshot. Snapshotting is a pure
+	// observer: results are byte-identical with or without it.
+	SnapshotEvery int64
+	// OnSnapshot receives each captured snapshot, synchronously on the
+	// simulation loop. Required when SnapshotEvery > 0.
+	OnSnapshot func(Snapshot)
+	// ResumeFrom, when non-nil, restores the engine from a snapshot blob
+	// before running. The run executes only the remainder after the
+	// snapshot's boundary, and its result is byte-identical to the
+	// uninterrupted run's — provided the rest of this config matches the
+	// run that took the snapshot (enforced via a config digest embedded in
+	// the blob).
+	ResumeFrom []byte
 }
 
 // RunResult bundles the simulation result with the protocol and injector
@@ -448,12 +467,13 @@ type RunResult struct {
 // covers the declarative configuration — workload shape, resolved network
 // parameters, storage model, protocol knobs including nested
 // logging/incremental/two-level parameters, noise, failures, seed, and the
-// time cap. Two members are deliberately outside the address space: Trace
-// (a pure observer that cannot change results) and a live *Store injected
-// directly into Protocol.TwoLevel.Store (runtime state, not configuration
-// — stores built from RunConfig.Storage are covered via the storage
-// fields). Callers caching by these fields must configure storage
-// declaratively.
+// time cap. Several members are deliberately outside the address space:
+// Trace, SnapshotEvery and OnSnapshot (pure observers that cannot change
+// results), ResumeFrom (mechanism — a resumed run reproduces the full
+// run's result by construction), and a live *Store injected directly into
+// Protocol.TwoLevel.Store (runtime state, not configuration — stores built
+// from RunConfig.Storage are covered via the storage fields). Callers
+// caching by these fields must configure storage declaratively.
 func (cfg RunConfig) CacheFields() []cache.Field {
 	net := cfg.Net
 	if (net == NetworkParams{}) {
@@ -608,15 +628,22 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		agents = append(agents, finj)
 	}
 	eng, err := sim.New(sim.Config{
-		Net:     net,
-		Program: prog,
-		Agents:  agents,
-		Seed:    cfg.Seed,
-		MaxTime: cfg.MaxTime,
-		Trace:   cfg.Trace,
+		Net:           net,
+		Program:       prog,
+		Agents:        agents,
+		Seed:          cfg.Seed,
+		MaxTime:       cfg.MaxTime,
+		Trace:         cfg.Trace,
+		SnapshotEvery: cfg.SnapshotEvery,
+		OnSnapshot:    cfg.OnSnapshot,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.ResumeFrom != nil {
+		if err := eng.Restore(cfg.ResumeFrom); err != nil {
+			return nil, err
+		}
 	}
 	res, err := eng.Run()
 	if err != nil {

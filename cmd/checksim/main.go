@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 
@@ -82,6 +83,9 @@ func run(args []string, out io.Writer) error {
 		ranksPerNode = fs.Int("ranks-per-node", 0, "ranks per node for the node storage tier (0 = 1)")
 		imageBytes   = fs.Int64("image-bytes", 0, "checkpoint image size drained through the store (0 = derive from -write)")
 		validateRun  = fs.Bool("validate", false, "run the simulation under the trace-conformance checker (internal/validate); invariant violations are fatal")
+		snapEvery    = fs.Int64("snapshot-every", 0, "snapshot the complete simulator state every N events at a safe boundary (0 = off; requires -snapshot-dir)")
+		snapDir      = fs.String("snapshot-dir", "", "directory receiving snapshot blobs (snap-<events>.ckpt, written atomically)")
+		resumeFile   = fs.String("resume", "", "resume from this snapshot blob instead of starting from t=0 (config must match the snapshotting run)")
 		timelineCSV  = fs.String("timeline", "", "write a per-job CPU timeline CSV to this file")
 		gantt        = fs.Bool("gantt", false, "print an ASCII Gantt chart and utilization summary")
 		ganttWidth   = fs.Int("gantt-width", 100, "Gantt chart width in columns")
@@ -225,8 +229,36 @@ func run(args []string, out io.Writer) error {
 	}
 	var chk *validate.Checker
 	if *validateRun {
+		if *resumeFile != "" {
+			return fmt.Errorf("-resume cannot be combined with -validate: the conformance checker needs the trace from t=0, which a resumed run does not replay")
+		}
 		chk = validate.New(netParams)
 		cfg.Trace = chk.Hook(cfg.Trace)
+	}
+	var snapped int
+	var snapErr error
+	if *snapEvery > 0 {
+		if *snapDir == "" {
+			return fmt.Errorf("-snapshot-every requires -snapshot-dir")
+		}
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			return err
+		}
+		cfg.SnapshotEvery = *snapEvery
+		cfg.OnSnapshot = func(s checkpointsim.Snapshot) {
+			name := filepath.Join(*snapDir, fmt.Sprintf("snap-%012d.ckpt", s.Events))
+			if werr := writeFileAtomic(name, s.Blob); werr != nil && snapErr == nil {
+				snapErr = fmt.Errorf("writing snapshot %s: %w", name, werr)
+			}
+			snapped++
+		}
+	}
+	if *resumeFile != "" {
+		blob, rerr := os.ReadFile(*resumeFile)
+		if rerr != nil {
+			return rerr
+		}
+		cfg.ResumeFrom = blob
 	}
 	if *noisePeriod != "" {
 		np, err := parse(*noisePeriod)
@@ -264,6 +296,9 @@ func run(args []string, out io.Writer) error {
 	res, err := checkpointsim.Run(cfg)
 	if err != nil {
 		return err
+	}
+	if snapErr != nil {
+		return snapErr
 	}
 	if chk != nil {
 		if verr := chk.Finish(res.Result); verr != nil {
@@ -347,6 +382,12 @@ func run(args []string, out io.Writer) error {
 			simtime.Duration(fins[0]), simtime.Duration(fins[len(fins)-1]),
 			fins[len(fins)-1].Sub(fins[0]))
 	}
+	if snapped > 0 {
+		fmt.Fprintf(out, "snapshots: %d written to %s\n", snapped, *snapDir)
+	}
+	if *resumeFile != "" {
+		fmt.Fprintf(out, "resumed:   from %s\n", *resumeFile)
+	}
 	if *gantt {
 		col.PrintSummary(out, res.Makespan)
 		col.Gantt(out, *ganttWidth, res.Makespan, 32)
@@ -369,6 +410,30 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "timeline:  %d records -> %s\n", len(timelineRows), *timelineCSV)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to name via a temp file and rename, so a
+// crash mid-write never leaves a truncated snapshot where a resumable one
+// is expected.
+func writeFileAtomic(name string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(name), filepath.Base(name)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), name); err != nil {
+		os.Remove(tmp.Name())
+		return err
 	}
 	return nil
 }

@@ -60,6 +60,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		timeout    = fs.Duration("timeout", 10*time.Minute, "default and maximum per-job runtime")
 		drainGrace = fs.Duration("drain-grace", 30*time.Second, "how long a shutdown signal waits for running jobs")
 		version    = fs.String("version", "", "cache-key code version tag (default: VCS revision from build info, else \"dev\")")
+		snapDir    = fs.String("snapshot-dir", "", "persist mid-run snapshots of scenario jobs here; a restarted server resumes resubmitted jobs from the last boundary (empty = off)")
+		snapEvery  = fs.Int64("snapshot-every", 0, "event cadence for scenario-job snapshots (0 = default 100000; needs -snapshot-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,13 +71,18 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if *cacheMB == 0 {
 		cacheBytes = -1 // Config treats 0 as "default"; negative disables
 	}
+	if *snapEvery > 0 && *snapDir == "" {
+		return fmt.Errorf("-snapshot-every requires -snapshot-dir")
+	}
 	srv := service.New(service.Config{
-		Queue:      *queue,
-		Workers:    *workers,
-		JobsPerRun: *jobsPerRun,
-		CacheBytes: cacheBytes,
-		Timeout:    *timeout,
-		Version:    resolveVersion(*version),
+		Queue:         *queue,
+		Workers:       *workers,
+		JobsPerRun:    *jobsPerRun,
+		CacheBytes:    cacheBytes,
+		Timeout:       *timeout,
+		Version:       resolveVersion(*version),
+		SnapshotDir:   *snapDir,
+		SnapshotEvery: *snapEvery,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

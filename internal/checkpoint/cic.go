@@ -2,9 +2,11 @@ package checkpoint
 
 import (
 	"fmt"
+	"sort"
 
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/snapshot"
 )
 
 // cicChan keys the per-channel queue of piggybacked checkpoint indices.
@@ -78,10 +80,13 @@ func (c *CIC) Init(ctx *sim.Context) {
 		case Random:
 			off = simtime.Duration(ctx.Rand().Intn(int(c.p.Interval)))
 		}
-		r := r
-		ctx.At(simtime.Time(0).Add(c.p.Interval+off), func() { c.fire(r) })
+		ctx.AtOwned(simtime.Time(0).Add(c.p.Interval+off), c, 0, int64(r))
 	}
 }
+
+// OnTimer implements sim.TimerOwner: arg is the rank whose basic-checkpoint
+// timer fired.
+func (c *CIC) OnTimer(_ uint8, arg int64) { c.fire(int(arg)) }
 
 // fire takes one basic checkpoint: increment the rank's index and write.
 func (c *CIC) fire(rank int) {
@@ -94,8 +99,69 @@ func (c *CIC) fire(rank int) {
 		c.busyAt[rank] = c.ctx.RankBusy(rank)
 		c.ctx.Mark(rank, "cic-basic", v)
 		next := simtime.Max(fired.Add(c.p.Interval), end)
-		c.ctx.At(next, func() { c.fire(rank) })
+		c.ctx.AtOwned(next, c, 0, int64(rank))
 	})
+}
+
+// Quiesced implements sim.Resumable: in-flight writes block the boundary
+// through the engine's job scans; store-queued writes block here.
+func (c *CIC) Quiesced() bool { return storeQuiesced(c.p.Store) }
+
+// EncodeState implements sim.Resumable. The per-channel piggyback queues can
+// be non-empty at a boundary (indices of sent-but-unmatched messages); they
+// are emitted in (src,dst) order for determinism.
+func (c *CIC) EncodeState(enc *snapshot.Encoder) {
+	encodeStats(enc, &c.stats)
+	snapshot.EncodeI64Slice(enc, c.idx)
+	snapshot.EncodeI64Slice(enc, c.last)
+	snapshot.EncodeI64Slice(enc, c.busyAt)
+	keys := make([]cicChan, 0, len(c.queues))
+	for k := range c.queues {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	enc.Int(len(keys))
+	for _, k := range keys {
+		enc.Int(int(k.src))
+		enc.Int(int(k.dst))
+		snapshot.EncodeI64Slice(enc, c.queues[k])
+	}
+	encodeStore(enc, c.p.Store)
+}
+
+// DecodeState implements sim.Resumable.
+func (c *CIC) DecodeState(ctx *sim.Context, dec *snapshot.Decoder) error {
+	c.ctx = ctx
+	n := ctx.NumRanks()
+	decodeStats(dec, &c.stats)
+	c.idx = snapshot.DecodeI64Slice[int64](dec, n)
+	c.last = snapshot.DecodeI64Slice[simtime.Time](dec, n)
+	c.busyAt = snapshot.DecodeI64Slice[simtime.Duration](dec, n)
+	nq := dec.Int()
+	if nq < 0 || nq > dec.Remaining() {
+		dec.Failf("cic queue count %d", nq)
+		return dec.Err()
+	}
+	c.queues = make(map[cicChan][]int64, nq)
+	for i := 0; i < nq; i++ {
+		src, dst := dec.Int(), dec.Int()
+		q := snapshot.DecodeI64Slice[int64](dec, -1)
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if src < 0 || src >= n || dst < 0 || dst >= n {
+			dec.Failf("cic channel %d->%d out of range", src, dst)
+			return dec.Err()
+		}
+		c.queues[cicChan{int32(src), int32(dst)}] = q
+	}
+	decodeStore(ctx, dec, c.p.Store)
+	return dec.Err()
 }
 
 // SendPenalty implements sim.SendHook: record the sender's index for the
@@ -155,4 +221,5 @@ var (
 	_ Protocol      = (*CIC)(nil)
 	_ sim.SendHook  = (*CIC)(nil)
 	_ sim.MatchHook = (*CIC)(nil)
+	_ sim.Resumable = (*CIC)(nil)
 )

@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/snapshot"
 )
 
 // Coordinated is the classic globally-coordinated, blocking checkpointing
@@ -41,6 +42,14 @@ func NewCoordinated(p Params) (*Coordinated, error) {
 
 // Init implements sim.Agent.
 func (c *Coordinated) Init(ctx *sim.Context) {
+	c.setup(ctx)
+	c.coord.schedule(simtime.Time(0).Add(c.p.Interval))
+}
+
+// setup wires the coordinator without scheduling its first round, so that
+// DecodeState can rebuild it while the pending tick is restored from the
+// snapshotted event queue.
+func (c *Coordinated) setup(ctx *sim.Context) {
 	members := make([]int, ctx.NumRanks())
 	for i := range members {
 		members[i] = i
@@ -51,7 +60,37 @@ func (c *Coordinated) Init(ctx *sim.Context) {
 			c.lineStart = tick
 			c.rounds = append(c.rounds, RoundRecord{Start: tick, End: end})
 		})
-	c.coord.schedule(simtime.Time(0).Add(c.p.Interval))
+	c.coord.arm = func(t simtime.Time) { ctx.AtOwned(t, c, 0, 0) }
+}
+
+// OnTimer implements sim.TimerOwner: the only timer is the round tick.
+func (c *Coordinated) OnTimer(uint8, int64) { c.coord.tick() }
+
+// Quiesced implements sim.Resumable: snapshots wait for rounds to complete.
+func (c *Coordinated) Quiesced() bool {
+	return (c.coord == nil || !c.coord.active) && storeQuiesced(c.p.Store)
+}
+
+// EncodeState implements sim.Resumable.
+func (c *Coordinated) EncodeState(enc *snapshot.Encoder) {
+	encodeStats(enc, &c.stats)
+	enc.Time(c.lastLine)
+	enc.Time(c.lineStart)
+	encodeRounds(enc, c.rounds)
+	c.coord.encodeState(enc)
+	encodeStore(enc, c.p.Store)
+}
+
+// DecodeState implements sim.Resumable.
+func (c *Coordinated) DecodeState(ctx *sim.Context, dec *snapshot.Decoder) error {
+	c.setup(ctx)
+	decodeStats(dec, &c.stats)
+	c.lastLine = dec.Time()
+	c.lineStart = dec.Time()
+	c.rounds = decodeRounds(dec)
+	c.coord.decodeState(dec)
+	decodeStore(ctx, dec, c.p.Store)
+	return dec.Err()
 }
 
 // Name implements Protocol.
@@ -80,4 +119,7 @@ func (c *Coordinated) LastLineStart() simtime.Time { return c.lineStart }
 // Rounds returns the completed round records.
 func (c *Coordinated) Rounds() []RoundRecord { return c.rounds }
 
-var _ Protocol = (*Coordinated)(nil)
+var (
+	_ Protocol      = (*Coordinated)(nil)
+	_ sim.Resumable = (*Coordinated)(nil)
+)

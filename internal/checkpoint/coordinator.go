@@ -5,6 +5,7 @@ import (
 
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/snapshot"
 )
 
 // coordinator runs the two-phase checkpoint rounds over one group of ranks
@@ -28,6 +29,10 @@ type coordinator struct {
 	onWrite func(rank int, end simtime.Time)
 	// onRound runs when a round fully completes.
 	onRound func(tick, end simtime.Time)
+	// arm schedules the next tick. The owning protocol supplies a
+	// defunctionalized timer (Context.AtOwned) so the pending tick
+	// serializes into snapshots; nil falls back to a closure timer.
+	arm func(t simtime.Time)
 
 	// per-round state
 	active       bool
@@ -75,7 +80,29 @@ func (c *coordinator) parent(i int) int { return i - (i & -i) }
 
 // schedule arms the periodic rounds; call once from the protocol's Init.
 func (c *coordinator) schedule(first simtime.Time) {
-	c.ctx.At(first, c.tick)
+	c.armAt(first)
+}
+
+func (c *coordinator) armAt(t simtime.Time) {
+	if c.arm != nil {
+		c.arm(t)
+		return
+	}
+	c.ctx.At(t, c.tick)
+}
+
+// encodeState serializes the coordinator's cross-round state. Per-round
+// fields (acksLeft, donesLeft, release, pendingBusy, pendingDelay,
+// tickTime) are live only while active, and snapshots require !active.
+func (c *coordinator) encodeState(enc *snapshot.Encoder) {
+	if c.active {
+		panic("checkpoint: encoding coordinator mid-round")
+	}
+	snapshot.EncodeI64Slice(enc, c.committedBusy)
+}
+
+func (c *coordinator) decodeState(dec *snapshot.Decoder) {
+	c.committedBusy = snapshot.DecodeI64Slice[simtime.Duration](dec, len(c.members))
 }
 
 func (c *coordinator) tick() {
@@ -162,7 +189,7 @@ func (c *coordinator) doneReady(i int) {
 			c.onRound(c.tickTime, end)
 		}
 		next := simtime.Max(c.tickTime.Add(c.p.Interval), end)
-		c.ctx.At(next, c.tick)
+		c.armAt(next)
 		return
 	}
 	p := c.parent(i)

@@ -5,6 +5,7 @@ import (
 
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/snapshot"
 )
 
 // Hierarchical is the hybrid protocol: ranks are partitioned into
@@ -45,6 +46,18 @@ func (h *Hierarchical) cluster(rank int) int { return rank / h.clusterSize }
 
 // Init implements sim.Agent.
 func (h *Hierarchical) Init(ctx *sim.Context) {
+	h.setup(ctx)
+	numClusters := len(h.coords)
+	for k := 0; k < numClusters; k++ {
+		// Stagger cluster schedules across the interval.
+		off := simtime.Duration(int64(h.p.Interval) * int64(k) / int64(numClusters))
+		h.coords[k].schedule(simtime.Time(0).Add(h.p.Interval + off))
+	}
+}
+
+// setup builds the per-cluster coordinators without scheduling their rounds,
+// for both Init and DecodeState.
+func (h *Hierarchical) setup(ctx *sim.Context) {
 	h.numRanks = ctx.NumRanks()
 	numClusters := (h.numRanks + h.clusterSize - 1) / h.clusterSize
 	h.lastLine = make([]simtime.Time, numClusters)
@@ -66,10 +79,45 @@ func (h *Hierarchical) Init(ctx *sim.Context) {
 				h.lastLine[k] = end
 				h.lineStart[k] = tick
 			})
-		// Stagger cluster schedules across the interval.
-		off := simtime.Duration(int64(h.p.Interval) * int64(k) / int64(numClusters))
-		h.coords[k].schedule(simtime.Time(0).Add(h.p.Interval + off))
+		h.coords[k].arm = func(t simtime.Time) { ctx.AtOwned(t, h, 0, int64(k)) }
 	}
+}
+
+// OnTimer implements sim.TimerOwner: arg is the cluster whose round ticks.
+func (h *Hierarchical) OnTimer(_ uint8, arg int64) { h.coords[arg].tick() }
+
+// Quiesced implements sim.Resumable: every cluster round must be complete.
+func (h *Hierarchical) Quiesced() bool {
+	for _, c := range h.coords {
+		if c.active {
+			return false
+		}
+	}
+	return storeQuiesced(h.p.Store)
+}
+
+// EncodeState implements sim.Resumable.
+func (h *Hierarchical) EncodeState(enc *snapshot.Encoder) {
+	encodeStats(enc, &h.stats)
+	snapshot.EncodeI64Slice(enc, h.lastLine)
+	snapshot.EncodeI64Slice(enc, h.lineStart)
+	for _, c := range h.coords {
+		c.encodeState(enc)
+	}
+	encodeStore(enc, h.p.Store)
+}
+
+// DecodeState implements sim.Resumable.
+func (h *Hierarchical) DecodeState(ctx *sim.Context, dec *snapshot.Decoder) error {
+	h.setup(ctx)
+	decodeStats(dec, &h.stats)
+	h.lastLine = snapshot.DecodeI64Slice[simtime.Time](dec, len(h.coords))
+	h.lineStart = snapshot.DecodeI64Slice[simtime.Time](dec, len(h.coords))
+	for _, c := range h.coords {
+		c.decodeState(dec)
+	}
+	decodeStore(ctx, dec, h.p.Store)
+	return dec.Err()
 }
 
 // SendPenalty implements sim.SendHook: only inter-cluster messages are
@@ -141,6 +189,7 @@ func (h *Hierarchical) ClusterMembers(rank int) []int {
 }
 
 var (
-	_ Protocol     = (*Hierarchical)(nil)
-	_ sim.SendHook = (*Hierarchical)(nil)
+	_ Protocol      = (*Hierarchical)(nil)
+	_ sim.SendHook  = (*Hierarchical)(nil)
+	_ sim.Resumable = (*Hierarchical)(nil)
 )

@@ -5,6 +5,7 @@ import (
 
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/snapshot"
 )
 
 // NonBlockingParams extend Params for the asynchronous variant.
@@ -75,14 +76,22 @@ func NewNonBlockingCoordinated(p NonBlockingParams) (*NonBlockingCoordinated, er
 
 // Init implements sim.Agent.
 func (n *NonBlockingCoordinated) Init(ctx *sim.Context) {
+	n.setup(ctx)
+	ctx.AtOwned(simtime.Time(0).Add(n.p.Interval), n, 0, 0)
+}
+
+// setup allocates run state without scheduling, for Init and DecodeState.
+func (n *NonBlockingCoordinated) setup(ctx *sim.Context) {
 	n.ctx = ctx
 	p := ctx.NumRanks()
 	n.tree = coordinator{members: make([]int, p)}
 	n.donesLeft = make([]int, p)
 	n.pendingBusy = make([]simtime.Duration, p)
 	n.committedBusy = make([]simtime.Duration, p)
-	ctx.At(simtime.Time(0).Add(n.p.Interval), n.tick)
 }
+
+// OnTimer implements sim.TimerOwner: the only timer is the round tick.
+func (n *NonBlockingCoordinated) OnTimer(uint8, int64) { n.tick() }
 
 // children/parent reuse the binomial shape over virtual ranks 0..P-1.
 func (n *NonBlockingCoordinated) children(i int) []int { return n.tree.children(i) }
@@ -156,7 +165,7 @@ func (n *NonBlockingCoordinated) done(i int) {
 		copy(n.committedBusy, n.pendingBusy)
 		n.lastLine = end
 		n.active = false
-		n.ctx.At(simtime.Max(n.tickTime.Add(n.p.Interval), end), n.tick)
+		n.ctx.AtOwned(simtime.Max(n.tickTime.Add(n.p.Interval), end), n, 0, 0)
 		return
 	}
 	p := n.parent(i)
@@ -183,4 +192,35 @@ func (n *NonBlockingCoordinated) ProgressAtCheckpoint(rank int) simtime.Duration
 	return n.committedBusy[rank]
 }
 
-var _ Protocol = (*NonBlockingCoordinated)(nil)
+// Quiesced implements sim.Resumable: snapshots wait for rounds (and their
+// background writes) to complete.
+func (n *NonBlockingCoordinated) Quiesced() bool {
+	return !n.active && storeQuiesced(n.p.Store)
+}
+
+// EncodeState implements sim.Resumable. Per-round fields (donesLeft,
+// pendingBusy, tickTime) are live only while active.
+func (n *NonBlockingCoordinated) EncodeState(enc *snapshot.Encoder) {
+	if n.active {
+		panic("checkpoint: encoding non-blocking round mid-flight")
+	}
+	encodeStats(enc, &n.stats)
+	snapshot.EncodeI64Slice(enc, n.committedBusy)
+	enc.Time(n.lastLine)
+	encodeStore(enc, n.p.Store)
+}
+
+// DecodeState implements sim.Resumable.
+func (n *NonBlockingCoordinated) DecodeState(ctx *sim.Context, dec *snapshot.Decoder) error {
+	n.setup(ctx)
+	decodeStats(dec, &n.stats)
+	n.committedBusy = snapshot.DecodeI64Slice[simtime.Duration](dec, ctx.NumRanks())
+	n.lastLine = dec.Time()
+	decodeStore(ctx, dec, n.p.Store)
+	return dec.Err()
+}
+
+var (
+	_ Protocol      = (*NonBlockingCoordinated)(nil)
+	_ sim.Resumable = (*NonBlockingCoordinated)(nil)
+)

@@ -5,6 +5,7 @@ import (
 
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/snapshot"
 	"checkpointsim/internal/storage"
 )
 
@@ -112,10 +113,12 @@ func (pt *Partner) Init(ctx *sim.Context) {
 		case Random:
 			off = simtime.Duration(ctx.Rand().Intn(int(pt.p.Interval)))
 		}
-		r := r
-		ctx.At(simtime.Time(0).Add(pt.p.Interval+off), func() { pt.fire(r) })
+		ctx.AtOwned(simtime.Time(0).Add(pt.p.Interval+off), pt, 0, int64(r))
 	}
 }
+
+// OnTimer implements sim.TimerOwner: arg is the rank whose timer fired.
+func (pt *Partner) OnTimer(_ uint8, arg int64) { pt.fire(int(arg)) }
 
 func (pt *Partner) fire(rank int) {
 	fired := pt.ctx.Now()
@@ -142,7 +145,35 @@ func (pt *Partner) commit(rank int, at simtime.Time, progress simtime.Duration, 
 	pt.last[rank] = at
 	pt.busyAt[rank] = progress
 	next := simtime.Max(fired.Add(pt.p.Interval), at)
-	pt.ctx.At(next, func() { pt.fire(rank) })
+	pt.ctx.AtOwned(next, pt, 0, int64(rank))
+}
+
+// Quiesced implements sim.Resumable: in-flight serializations and partner
+// transfers block the boundary through the engine's job and message scans;
+// store-queued writes block here.
+func (pt *Partner) Quiesced() bool { return storeQuiesced(pt.p.Store) }
+
+// EncodeState implements sim.Resumable.
+func (pt *Partner) EncodeState(enc *snapshot.Encoder) {
+	encodeStats(enc, &pt.stats)
+	snapshot.EncodeI64Slice(enc, pt.last)
+	snapshot.EncodeI64Slice(enc, pt.busyAt)
+	enc.I64(pt.shipped)
+	enc.I64(pt.transfers)
+	encodeStore(enc, pt.p.Store)
+}
+
+// DecodeState implements sim.Resumable.
+func (pt *Partner) DecodeState(ctx *sim.Context, dec *snapshot.Decoder) error {
+	pt.ctx = ctx
+	n := ctx.NumRanks()
+	decodeStats(dec, &pt.stats)
+	pt.last = snapshot.DecodeI64Slice[simtime.Time](dec, n)
+	pt.busyAt = snapshot.DecodeI64Slice[simtime.Duration](dec, n)
+	pt.shipped = dec.I64()
+	pt.transfers = dec.I64()
+	decodeStore(ctx, dec, pt.p.Store)
+	return dec.Err()
 }
 
 // Name implements Protocol.
@@ -166,4 +197,7 @@ func (pt *Partner) Shipped() (bytes int64, transfers int64) {
 	return pt.shipped, pt.transfers
 }
 
-var _ Protocol = (*Partner)(nil)
+var (
+	_ Protocol      = (*Partner)(nil)
+	_ sim.Resumable = (*Partner)(nil)
+)

@@ -5,6 +5,7 @@ import (
 
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/snapshot"
 )
 
 // ReplicationParams configures replication-based resilience.
@@ -116,10 +117,13 @@ func (rp *Replication) Init(ctx *sim.Context) {
 		off := simtime.Duration(int64(period) * int64(r) / int64(rp.app))
 		first := simtime.Time(0).Add(period + off)
 		rp.nextBeat[r] = first
-		r := r
-		ctx.At(first, func() { rp.beat(r) })
+		ctx.AtOwned(first, rp, 0, int64(r))
 	}
 }
+
+// OnTimer implements sim.TimerOwner: arg is the primary whose heartbeat
+// timer fired.
+func (rp *Replication) OnTimer(_ uint8, arg int64) { rp.beat(int(arg)) }
 
 // beat sends one heartbeat from a primary to each of its replicas and
 // re-arms the timer.
@@ -133,7 +137,33 @@ func (rp *Replication) beat(rank int) {
 	}
 	next := rp.ctx.Now().Add(rp.p.period())
 	rp.nextBeat[rank] = next
-	rp.ctx.At(next, func() { rp.beat(rank) })
+	rp.ctx.AtOwned(next, rp, 0, int64(rank))
+}
+
+// Quiesced implements sim.Resumable: heartbeats and mirrored sends carry no
+// delivery callbacks, so the protocol never blocks a boundary.
+func (rp *Replication) Quiesced() bool { return true }
+
+// EncodeState implements sim.Resumable.
+func (rp *Replication) EncodeState(enc *snapshot.Encoder) {
+	encodeStats(enc, &rp.stats)
+	snapshot.EncodeI64Slice(enc, rp.nextBeat)
+}
+
+// DecodeState implements sim.Resumable. The primary/replica layout is a
+// pure function of the configuration, so it is recomputed, not decoded.
+func (rp *Replication) DecodeState(ctx *sim.Context, dec *snapshot.Decoder) error {
+	rp.ctx = ctx
+	n := ctx.NumRanks()
+	g := rp.p.degree() + 1
+	if n%g != 0 {
+		dec.Failf("replication degree %d with %d ranks", rp.p.degree(), n)
+		return dec.Err()
+	}
+	rp.app = n / g
+	decodeStats(dec, &rp.stats)
+	rp.nextBeat = snapshot.DecodeI64Slice[simtime.Time](dec, rp.app)
+	return dec.Err()
 }
 
 // SendPenalty implements sim.SendHook: every application send between
@@ -201,6 +231,7 @@ func (rp *Replication) ProgressAtCheckpoint(rank int) simtime.Duration {
 }
 
 var (
-	_ Protocol     = (*Replication)(nil)
-	_ sim.SendHook = (*Replication)(nil)
+	_ Protocol      = (*Replication)(nil)
+	_ sim.SendHook  = (*Replication)(nil)
+	_ sim.Resumable = (*Replication)(nil)
 )

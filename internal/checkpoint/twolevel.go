@@ -5,6 +5,7 @@ import (
 
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/snapshot"
 	"checkpointsim/internal/storage"
 )
 
@@ -89,19 +90,31 @@ func NewTwoLevel(p TwoLevelParams) (*TwoLevel, error) {
 	return &TwoLevel{p: p}, nil
 }
 
+// Timer kinds for the defunctionalized two-level timers.
+const (
+	tlTimerLocal  uint8 = 0 // arg = rank
+	tlTimerGlobal uint8 = 1 // the coordinated round tick
+)
+
 // Init implements sim.Agent.
 func (tl *TwoLevel) Init(ctx *sim.Context) {
+	tl.setup(ctx)
+	n := ctx.NumRanks()
+	// Local level: aligned independent timers (consistent-set semantics).
+	for r := 0; r < n; r++ {
+		ctx.AtOwned(simtime.Time(0).Add(tl.p.LocalInterval), tl, tlTimerLocal, int64(r))
+	}
+	tl.coord.schedule(simtime.Time(0).Add(tl.p.GlobalInterval))
+}
+
+// setup allocates the per-rank state and wires the global coordinator
+// without scheduling anything, for both Init and DecodeState.
+func (tl *TwoLevel) setup(ctx *sim.Context) {
 	tl.ctx = ctx
 	n := ctx.NumRanks()
 	tl.localLast = make([]simtime.Time, n)
 	tl.localBusyAt = make([]simtime.Duration, n)
 	tl.globalBusyAt = make([]simtime.Duration, n)
-
-	// Local level: aligned independent timers (consistent-set semantics).
-	for r := 0; r < n; r++ {
-		r := r
-		ctx.At(simtime.Time(0).Add(tl.p.LocalInterval), func() { tl.fireLocal(r) })
-	}
 
 	// Global level: a full coordinated round.
 	members := make([]int, n)
@@ -116,7 +129,16 @@ func (tl *TwoLevel) Init(ctx *sim.Context) {
 			copy(tl.globalBusyAt, tl.coord.committedBusy)
 			tl.globalWrites += int64(n)
 		})
-	tl.coord.schedule(simtime.Time(0).Add(tl.p.GlobalInterval))
+	tl.coord.arm = func(t simtime.Time) { ctx.AtOwned(t, tl, tlTimerGlobal, 0) }
+}
+
+// OnTimer implements sim.TimerOwner.
+func (tl *TwoLevel) OnTimer(kind uint8, arg int64) {
+	if kind == tlTimerLocal {
+		tl.fireLocal(int(arg))
+		return
+	}
+	tl.coord.tick()
 }
 
 func (tl *TwoLevel) fireLocal(rank int) {
@@ -128,8 +150,42 @@ func (tl *TwoLevel) fireLocal(rank int) {
 			tl.localLast[rank] = end
 			tl.localBusyAt[rank] = tl.ctx.RankBusy(rank)
 			next := simtime.Max(fired.Add(tl.p.LocalInterval), end)
-			tl.ctx.At(next, func() { tl.fireLocal(rank) })
+			tl.ctx.AtOwned(next, tl, tlTimerLocal, int64(rank))
 		})
+}
+
+// Quiesced implements sim.Resumable.
+func (tl *TwoLevel) Quiesced() bool {
+	return (tl.coord == nil || !tl.coord.active) && storeQuiesced(tl.p.Store)
+}
+
+// EncodeState implements sim.Resumable.
+func (tl *TwoLevel) EncodeState(enc *snapshot.Encoder) {
+	encodeStats(enc, &tl.stats)
+	snapshot.EncodeI64Slice(enc, tl.localLast)
+	snapshot.EncodeI64Slice(enc, tl.localBusyAt)
+	enc.Time(tl.globalLast)
+	snapshot.EncodeI64Slice(enc, tl.globalBusyAt)
+	enc.I64(tl.localWrites)
+	enc.I64(tl.globalWrites)
+	tl.coord.encodeState(enc)
+	encodeStore(enc, tl.p.Store)
+}
+
+// DecodeState implements sim.Resumable.
+func (tl *TwoLevel) DecodeState(ctx *sim.Context, dec *snapshot.Decoder) error {
+	tl.setup(ctx)
+	n := ctx.NumRanks()
+	decodeStats(dec, &tl.stats)
+	tl.localLast = snapshot.DecodeI64Slice[simtime.Time](dec, n)
+	tl.localBusyAt = snapshot.DecodeI64Slice[simtime.Duration](dec, n)
+	tl.globalLast = dec.Time()
+	tl.globalBusyAt = snapshot.DecodeI64Slice[simtime.Duration](dec, n)
+	tl.localWrites = dec.I64()
+	tl.globalWrites = dec.I64()
+	tl.coord.decodeState(dec)
+	decodeStore(ctx, dec, tl.p.Store)
+	return dec.Err()
 }
 
 // Name implements Protocol.
@@ -166,4 +222,7 @@ func (tl *TwoLevel) LevelWrites() (local, global int64) {
 	return tl.localWrites, tl.globalWrites
 }
 
-var _ Protocol = (*TwoLevel)(nil)
+var (
+	_ Protocol      = (*TwoLevel)(nil)
+	_ sim.Resumable = (*TwoLevel)(nil)
+)

@@ -6,6 +6,7 @@ import (
 
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/snapshot"
 )
 
 // OffsetPolicy selects how uncoordinated per-rank checkpoint timers are
@@ -127,10 +128,12 @@ func (u *Uncoordinated) Init(ctx *sim.Context) {
 		case Random:
 			off = simtime.Duration(ctx.Rand().Intn(int(u.p.Interval)))
 		}
-		r := r
-		ctx.At(simtime.Time(0).Add(u.p.Interval+off), func() { u.fire(r) })
+		ctx.AtOwned(simtime.Time(0).Add(u.p.Interval+off), u, 0, int64(r))
 	}
 }
+
+// OnTimer implements sim.TimerOwner: arg is the rank whose local timer fired.
+func (u *Uncoordinated) OnTimer(_ uint8, arg int64) { u.fire(int(arg)) }
 
 func (u *Uncoordinated) fire(rank int) {
 	fired := u.ctx.Now()
@@ -141,8 +144,34 @@ func (u *Uncoordinated) fire(rank int) {
 		u.last[rank] = end
 		u.busyAt[rank] = u.ctx.RankBusy(rank)
 		next := simtime.Max(fired.Add(u.p.Interval), end)
-		u.ctx.At(next, func() { u.fire(rank) })
+		u.ctx.AtOwned(next, u, 0, int64(rank))
 	})
+}
+
+// Quiesced implements sim.Resumable. In-flight direct writes block the
+// boundary through the engine's job scans; store-queued writes block here.
+func (u *Uncoordinated) Quiesced() bool { return storeQuiesced(u.p.Store) }
+
+// EncodeState implements sim.Resumable.
+func (u *Uncoordinated) EncodeState(enc *snapshot.Encoder) {
+	encodeStats(enc, &u.stats)
+	snapshot.EncodeI64Slice(enc, u.last)
+	snapshot.EncodeI64Slice(enc, u.busyAt)
+	snapshot.EncodeI64Slice(enc, u.nwrites)
+	encodeStore(enc, u.p.Store)
+}
+
+// DecodeState implements sim.Resumable. The pending per-rank timers are
+// restored with the event queue, so no rescheduling happens here.
+func (u *Uncoordinated) DecodeState(ctx *sim.Context, dec *snapshot.Decoder) error {
+	u.ctx = ctx
+	n := ctx.NumRanks()
+	decodeStats(dec, &u.stats)
+	u.last = snapshot.DecodeI64Slice[simtime.Time](dec, n)
+	u.busyAt = snapshot.DecodeI64Slice[simtime.Duration](dec, n)
+	u.nwrites = snapshot.DecodeI64Slice[int64](dec, n)
+	decodeStore(ctx, dec, u.p.Store)
+	return dec.Err()
 }
 
 // SendPenalty implements sim.SendHook: the sender-based logging tax.
@@ -184,6 +213,7 @@ func (u *Uncoordinated) ProgressAtCheckpoint(rank int) simtime.Duration {
 }
 
 var (
-	_ Protocol     = (*Uncoordinated)(nil)
-	_ sim.SendHook = (*Uncoordinated)(nil)
+	_ Protocol      = (*Uncoordinated)(nil)
+	_ sim.SendHook  = (*Uncoordinated)(nil)
+	_ sim.Resumable = (*Uncoordinated)(nil)
 )

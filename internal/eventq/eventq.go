@@ -86,6 +86,34 @@ func (q *Queue[T]) PeekTime() simtime.Time {
 	return q.items[0].t
 }
 
+// Items calls visit for every queued event with its full ordering key
+// (time, priority, insertion sequence), in unspecified (heap) order, until
+// visit returns false. Snapshot encoding uses it to serialize the queue
+// without disturbing it; because the (t, prio, seq) triple totally orders
+// events, re-Loading the visited items reproduces the exact pop sequence.
+func (q *Queue[T]) Items(visit func(t simtime.Time, prio int, seq uint64, v T) bool) {
+	for i := range q.items {
+		it := &q.items[i]
+		if !visit(it.t, it.prio, it.seq, it.v) {
+			return
+		}
+	}
+}
+
+// Load inserts an event with an explicit insertion sequence, bypassing the
+// queue's own counter. Restore paths use it to rebuild a serialized queue;
+// pair it with SetSeq so future Pushes continue after the restored events.
+func (q *Queue[T]) Load(t simtime.Time, prio int, seq uint64, v T) {
+	q.items = append(q.items, item[T]{t: t, prio: prio, seq: seq, v: v})
+	q.up(len(q.items) - 1)
+}
+
+// Seq returns the next insertion sequence number the queue would assign.
+func (q *Queue[T]) Seq() uint64 { return q.seq }
+
+// SetSeq sets the next insertion sequence number (snapshot restore).
+func (q *Queue[T]) SetSeq(seq uint64) { q.seq = seq }
+
 // Clear discards all queued events while keeping the allocated capacity.
 func (q *Queue[T]) Clear() {
 	var zero item[T]

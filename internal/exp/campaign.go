@@ -482,43 +482,110 @@ func (sc Scenario) Run(o Options) ([]*report.Table, error) {
 	if cfg.inj != nil {
 		agents = append(agents, cfg.inj)
 	}
-	chk := validate.New(net)
-	eng, err := sim.New(sim.Config{
+	scfg := sim.Config{
 		Net: net, Program: prog, Agents: agents,
 		Seed: sc.Seed, MaxTime: scenarioMaxTime,
-		Trace: chk.Hook(nil),
-	})
-	if err != nil {
-		return nil, err
 	}
-	res, err := eng.Run()
-	if res != nil && o.Events != nil {
-		atomic.AddInt64(o.Events, res.Events)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", sc.ID(), err)
-	}
-	if verr := chk.Finish(res); verr != nil {
-		return nil, fmt.Errorf("%s: %w", sc.ID(), verr)
-	}
-	if cfg.store != nil {
-		if verr := chk.CheckStorage(cfg.store.Stats()); verr != nil {
+	var res *sim.Result
+	switch {
+	case o.ResumeFrom != nil:
+		// Resume mode: restore the blob and execute only the remainder.
+		// The conformance checker needs the trace from t=0, so the suffix
+		// is not re-validated; determinism (proven by the crash–resume
+		// harness in CI) transfers the uninterrupted run's verdict. The run
+		// keeps snapshotting when configured, so a second interruption
+		// resumes from even later.
+		if o.SnapshotEvery > 0 && o.OnSnapshot != nil {
+			scfg.SnapshotEvery, scfg.OnSnapshot = o.SnapshotEvery, o.OnSnapshot
+			if o.Snapshots != nil {
+				inner := scfg.OnSnapshot
+				n := o.Snapshots
+				scfg.OnSnapshot = func(s sim.Snapshot) { atomic.AddInt64(n, 1); inner(s) }
+			}
+		}
+		eng, nerr := sim.New(scfg)
+		if nerr != nil {
+			return nil, fmt.Errorf("%s: %w", sc.ID(), nerr)
+		}
+		if rerr := eng.Restore(o.ResumeFrom); rerr != nil {
+			return nil, fmt.Errorf("%s: resume: %w", sc.ID(), rerr)
+		}
+		res, err = eng.Run()
+		if res != nil && o.Events != nil {
+			atomic.AddInt64(o.Events, res.Events)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.ID(), err)
+		}
+	case o.SnapshotEvery > 0 && o.OnSnapshot != nil:
+		// Streaming mode: persist snapshots, validate as usual, no replay.
+		chk := validate.New(net)
+		scfg.Trace = chk.Hook(nil)
+		scfg.SnapshotEvery = o.SnapshotEvery
+		n := o.Snapshots
+		scfg.OnSnapshot = func(s sim.Snapshot) {
+			if n != nil {
+				atomic.AddInt64(n, 1)
+			}
+			o.OnSnapshot(s)
+		}
+		eng, nerr := sim.New(scfg)
+		if nerr != nil {
+			return nil, fmt.Errorf("%s: %w", sc.ID(), nerr)
+		}
+		res, err = eng.Run()
+		if res != nil && o.Events != nil {
+			atomic.AddInt64(o.Events, res.Events)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.ID(), err)
+		}
+		if verr := sc.check(chk, res, cfg); verr != nil {
+			return nil, verr
+		}
+	case o.SnapshotEvery > 0:
+		// Self-verifying mode: snapshot, validate, then replay the
+		// remainder from every snapshot and require byte-identity.
+		chk := validate.New(net)
+		var full []sim.TraceEvent
+		var snaps []sim.Snapshot
+		inner := chk.Hook(nil)
+		scfg.Trace = func(ev sim.TraceEvent) { full = append(full, ev); inner(ev) }
+		scfg.SnapshotEvery = o.SnapshotEvery
+		scfg.OnSnapshot = func(s sim.Snapshot) { snaps = append(snaps, s) }
+		eng, nerr := sim.New(scfg)
+		if nerr != nil {
+			return nil, fmt.Errorf("%s: %w", sc.ID(), nerr)
+		}
+		res, err = eng.Run()
+		if res != nil && o.Events != nil {
+			atomic.AddInt64(o.Events, res.Events)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.ID(), err)
+		}
+		if verr := sc.check(chk, res, cfg); verr != nil {
+			return nil, verr
+		}
+		if verr := verifyResume(scfg, snaps, full, res, nil, o.Snapshots); verr != nil {
 			return nil, fmt.Errorf("%s: %w", sc.ID(), verr)
 		}
-	}
-	if tl, ok := cfg.proto.(validate.TaxedLogger); ok {
-		if verr := chk.CheckLogging(tl); verr != nil {
-			return nil, fmt.Errorf("%s: %w", sc.ID(), verr)
+	default:
+		chk := validate.New(net)
+		scfg.Trace = chk.Hook(nil)
+		eng, nerr := sim.New(scfg)
+		if nerr != nil {
+			return nil, fmt.Errorf("%s: %w", sc.ID(), nerr)
 		}
-	}
-	if rm, ok := cfg.proto.(validate.ReplicaMirror); ok {
-		if verr := chk.CheckReplication(rm); verr != nil {
-			return nil, fmt.Errorf("%s: %w", sc.ID(), verr)
+		res, err = eng.Run()
+		if res != nil && o.Events != nil {
+			atomic.AddInt64(o.Events, res.Events)
 		}
-	}
-	if ci, ok := cfg.proto.(validate.CICIntrospect); ok {
-		if verr := chk.CheckCIC(ci); verr != nil {
-			return nil, fmt.Errorf("%s: %w", sc.ID(), verr)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.ID(), err)
+		}
+		if verr := sc.check(chk, res, cfg); verr != nil {
+			return nil, verr
 		}
 	}
 
@@ -547,6 +614,35 @@ func (sc Scenario) Run(o Options) ([]*report.Table, error) {
 	t.AddRow("failures", strconv.Itoa(failures))
 	t.AddRow("validate", "ok")
 	return []*report.Table{t}, nil
+}
+
+// check runs the full post-run conformance sweep for one completed
+// scenario simulation.
+func (sc Scenario) check(chk *validate.Checker, res *sim.Result, cfg *scenarioConfig) error {
+	if verr := chk.Finish(res); verr != nil {
+		return fmt.Errorf("%s: %w", sc.ID(), verr)
+	}
+	if cfg.store != nil {
+		if verr := chk.CheckStorage(cfg.store.Stats()); verr != nil {
+			return fmt.Errorf("%s: %w", sc.ID(), verr)
+		}
+	}
+	if tl, ok := cfg.proto.(validate.TaxedLogger); ok {
+		if verr := chk.CheckLogging(tl); verr != nil {
+			return fmt.Errorf("%s: %w", sc.ID(), verr)
+		}
+	}
+	if rm, ok := cfg.proto.(validate.ReplicaMirror); ok {
+		if verr := chk.CheckReplication(rm); verr != nil {
+			return fmt.Errorf("%s: %w", sc.ID(), verr)
+		}
+	}
+	if ci, ok := cfg.proto.(validate.CICIntrospect); ok {
+		if verr := chk.CheckCIC(ci); verr != nil {
+			return fmt.Errorf("%s: %w", sc.ID(), verr)
+		}
+	}
+	return nil
 }
 
 // CacheFields renders everything that determines the scenario's tables —

@@ -73,6 +73,35 @@ type Options struct {
 	// disconnects through here. Like Jobs and Events, Ctx can never change
 	// the rows of a completed run, only whether the run completes.
 	Ctx context.Context
+	// SnapshotEvery, when > 0, snapshots the complete state of every
+	// simulation at the first safe event boundary after every SnapshotEvery
+	// events. For experiment sweeps (and for scenarios without OnSnapshot)
+	// this turns every run into its own crash–resume differential harness:
+	// each snapshot is restored into a fresh engine, the remainder of the
+	// run re-executes from the blob, and its result and trace suffix must be
+	// byte-identical to the uninterrupted run's — any divergence or decode
+	// failure fails the run. Verification multiplies work by roughly the
+	// snapshot count; meant for CI and debugging, not timing studies.
+	SnapshotEvery int64
+	// Snapshots, when non-nil, accumulates the snapshots taken (atomically —
+	// sweep points run on parallel workers).
+	Snapshots *int64
+	// OnSnapshot, with SnapshotEvery > 0, switches single-simulation runs
+	// (Scenario.Run) from self-verification to streaming: each snapshot blob
+	// is handed to the callback for persistence, and the run is not
+	// re-executed. cmd/sweepd uses this to checkpoint long scenario jobs so
+	// a killed worker resumes instead of recomputing. Experiment sweeps
+	// ignore it and always self-verify.
+	OnSnapshot func(sim.Snapshot)
+	// ResumeFrom, when non-nil, starts a Scenario.Run from a snapshot blob
+	// instead of from scratch: the engine restores the blob and executes
+	// only the remainder. Determinism makes the completed result
+	// byte-identical to a never-interrupted run's (CI proves this over all
+	// experiments and campaign scenarios), so the resumed run inherits the
+	// full run's trace-conformance verdict; the suffix alone cannot be
+	// re-validated, since the checker needs the stream from t=0.
+	// Experiment sweeps (many simulations per run) reject it.
+	ResumeFrom []byte
 }
 
 // ctx returns the run's context, defaulting to Background.
@@ -175,12 +204,18 @@ func buildProg(name string, ranks, iters int, compute simtime.Duration, bytes in
 // violation is returned as an error; capped runs (ErrCapExceeded) are
 // passed through unvalidated — there is no result to reconcile.
 func simulate(o Options, net network.Params, prog *goal.Program, seed uint64, maxTime simtime.Time, agents ...sim.Agent) (*sim.Result, error) {
+	if o.ResumeFrom != nil {
+		return nil, fmt.Errorf("exp: ResumeFrom applies to single-simulation scenario runs, not experiment sweeps")
+	}
 	cfg := sim.Config{Net: net, Program: prog, Agents: agents,
 		Seed: seed, MaxTime: maxTime}
 	var chk *validate.Checker
 	if o.Validate {
 		chk = validate.New(net)
 		cfg.Trace = chk.Hook(nil)
+	}
+	if o.SnapshotEvery > 0 {
+		return simulateVerified(o, cfg, chk)
 	}
 	e, err := sim.New(cfg)
 	if err != nil {
@@ -282,7 +317,10 @@ func pointSeed(o Options, id string, i int) uint64 {
 //
 // Validate is included even though it adds no rows: a validated run can
 // fail where an unvalidated one succeeds, and a cache must not launder a
-// result across that distinction.
+// result across that distinction. SnapshotEvery is included for the same
+// reason — a self-verifying run fails on any resume divergence — while
+// Snapshots, OnSnapshot, and ResumeFrom are mechanism, not configuration,
+// and stay out.
 func (o Options) CacheFields(id string) []cache.Field {
 	net := o.net()
 	f64 := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -291,6 +329,7 @@ func (o Options) CacheFields(id string) []cache.Field {
 		cache.F("seed", strconv.FormatUint(o.Seed, 10)),
 		cache.F("quick", strconv.FormatBool(o.Quick)),
 		cache.F("validate", strconv.FormatBool(o.Validate)),
+		cache.F("snapshot_every", strconv.FormatInt(o.SnapshotEvery, 10)),
 		cache.F("net.latency", strconv.FormatInt(int64(net.Latency), 10)),
 		cache.F("net.overhead", strconv.FormatInt(int64(net.Overhead), 10)),
 		cache.F("net.gap", strconv.FormatInt(int64(net.Gap), 10)),

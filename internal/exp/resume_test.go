@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"checkpointsim/internal/report"
+)
+
+// renderTables flattens tables to one string for byte comparison.
+func renderTables(ts []*report.Table) string {
+	var sb strings.Builder
+	for _, t := range ts {
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// resumeCadence picks a SnapshotEvery from a probed total event count:
+// coarse enough that replaying every snapshot's remainder stays a small
+// multiple of the base cost, fine enough that the largest simulations take
+// several snapshots each.
+func resumeCadence(totalEvents int64) int64 {
+	c := totalEvents / 40
+	if c < 200 {
+		c = 200
+	}
+	return c
+}
+
+// TestCrashResumeExperiments is the crash–resume differential harness over
+// the full experiment set: every quick experiment runs with SnapshotEvery
+// set, which makes each of its simulations snapshot at safe boundaries,
+// replay the remainder from every snapshot in a fresh engine, and require
+// the resumed result and trace suffix to be byte-identical to the
+// uninterrupted run (see verifyResume). On top of that inline proof, the
+// rendered tables must be byte-identical to a plain run's — so any state
+// the snapshot misses that leaks into table-visible protocol stats fails
+// here even if the Result and trace agree.
+func TestCrashResumeExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash–resume differential suite is not short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var events int64
+			plain := DefaultOptions()
+			plain.Quick = true
+			plain.Validate = true
+			plain.Events = &events
+			want, err := e.Run(plain)
+			if err != nil {
+				t.Fatalf("%s plain run: %v", e.ID, err)
+			}
+			var snaps int64
+			o := DefaultOptions()
+			o.Quick = true
+			o.Validate = true
+			o.SnapshotEvery = resumeCadence(events)
+			o.Snapshots = &snaps
+			got, err := e.Run(o)
+			if err != nil {
+				t.Fatalf("%s verified run (cadence %d): %v", e.ID, o.SnapshotEvery, err)
+			}
+			if snaps == 0 {
+				t.Fatalf("%s: no snapshots taken at cadence %d over %d events — nothing was verified",
+					e.ID, o.SnapshotEvery, events)
+			}
+			if g, w := renderTables(got), renderTables(want); g != w {
+				t.Errorf("%s: tables diverged between snapshot-verified and plain runs\nverified:\n%s\nplain:\n%s", e.ID, g, w)
+			}
+			t.Logf("%s: %d snapshots verified (cadence %d over %d events)", e.ID, snaps, o.SnapshotEvery, events)
+		})
+	}
+}
+
+// TestCrashResumeCampaign runs the differential harness over a seeded
+// campaign schedule: each scenario self-verifies every snapshot, and its
+// rendered table — which, unlike experiment tables, embeds protocol and
+// storage counters — must be byte-identical to the plain run's.
+func TestCrashResumeCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash–resume differential suite is not short")
+	}
+	sched, err := DefaultCampaignSpace().Schedule(7, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range sched {
+		i, sc := i, sc
+		t.Run(sc.ID(), func(t *testing.T) {
+			t.Parallel()
+			var events int64
+			plain := DefaultOptions()
+			plain.Events = &events
+			want, err := sc.Run(plain)
+			if err != nil {
+				t.Fatalf("point %d plain run: %v", i, err)
+			}
+			cadence := events / 5
+			if cadence < 100 {
+				cadence = 100
+			}
+			var snaps int64
+			o := DefaultOptions()
+			o.SnapshotEvery = cadence
+			o.Snapshots = &snaps
+			got, err := sc.Run(o)
+			if err != nil {
+				t.Fatalf("point %d verified run (cadence %d): %v", i, cadence, err)
+			}
+			if snaps == 0 {
+				t.Fatalf("point %d (%s): no snapshots taken at cadence %d over %d events",
+					i, sc.ID(), cadence, events)
+			}
+			if g, w := renderTables(got), renderTables(want); g != w {
+				t.Errorf("point %d: tables diverged between snapshot-verified and plain runs\nverified:\n%s\nplain:\n%s", i, g, w)
+			}
+			t.Logf("point %d (%s): %d snapshots verified (cadence %d over %d events)",
+				i, sc.ID(), snaps, cadence, events)
+		})
+	}
+}

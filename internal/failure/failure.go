@@ -24,6 +24,7 @@ import (
 	"checkpointsim/internal/checkpoint"
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/snapshot"
 )
 
 // Reason is the accounting key recovery seizures appear under.
@@ -247,7 +248,46 @@ func (f *Injector) scheduleNext() {
 	if d < 1 {
 		d = 1
 	}
-	f.ctx.After(d, f.fail)
+	f.ctx.AfterOwned(d, f, 0, 0)
+}
+
+// OnTimer implements sim.TimerOwner: the only timer is the next failure.
+func (f *Injector) OnTimer(uint8, int64) { f.fail() }
+
+// Quiesced implements sim.Resumable: recovery seizures carry no callbacks,
+// so the injector never blocks a boundary.
+func (f *Injector) Quiesced() bool { return true }
+
+// EncodeState implements sim.Resumable.
+func (f *Injector) EncodeState(enc *snapshot.Encoder) {
+	enc.Int(len(f.evts))
+	for _, e := range f.evts {
+		enc.Time(e.Time)
+		enc.Int(e.Rank)
+		enc.Dur(e.LostWork)
+		enc.Dur(e.Recovery)
+	}
+}
+
+// DecodeState implements sim.Resumable. The pending failure timer is
+// restored with the event queue.
+func (f *Injector) DecodeState(ctx *sim.Context, dec *snapshot.Decoder) error {
+	f.ctx = ctx
+	n := dec.Int()
+	if n < 0 || n > dec.Remaining() {
+		dec.Failf("failure event count %d", n)
+		return dec.Err()
+	}
+	f.evts = make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		f.evts = append(f.evts, Event{
+			Time:     dec.Time(),
+			Rank:     dec.Int(),
+			LostWork: dec.Dur(),
+			Recovery: dec.Dur(),
+		})
+	}
+	return dec.Err()
 }
 
 // rework returns the application progress rank must re-execute after
@@ -372,4 +412,7 @@ func (f *Injector) TotalRecovery() simtime.Duration {
 	return t
 }
 
-var _ sim.Agent = (*Injector)(nil)
+var (
+	_ sim.Agent     = (*Injector)(nil)
+	_ sim.Resumable = (*Injector)(nil)
+)

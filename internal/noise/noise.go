@@ -14,6 +14,7 @@ import (
 
 	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/snapshot"
 )
 
 // Reason is the accounting key noise seizures appear under.
@@ -73,10 +74,12 @@ func (n *Injector) Init(ctx *sim.Context) {
 	n.ctx = ctx
 	for r := 0; r < ctx.NumRanks(); r++ {
 		phase := simtime.Duration(ctx.Rand().Intn(int(n.cfg.Period)))
-		r := r
-		ctx.At(simtime.Time(0).Add(phase), func() { n.fire(r) })
+		ctx.AtOwned(simtime.Time(0).Add(phase), n, 0, int64(r))
 	}
 }
+
+// OnTimer implements sim.TimerOwner: arg is the rank whose stream fires.
+func (n *Injector) OnTimer(_ uint8, arg int64) { n.fire(int(arg)) }
 
 func (n *Injector) fire(rank int) {
 	n.events++
@@ -91,7 +94,24 @@ func (n *Injector) fire(rank int) {
 	} else {
 		gap = n.cfg.Period
 	}
-	n.ctx.After(gap, func() { n.fire(rank) })
+	n.ctx.AfterOwned(gap, n, 0, int64(rank))
+}
+
+// Quiesced implements sim.Resumable: noise seizures carry no callbacks.
+func (n *Injector) Quiesced() bool { return true }
+
+// EncodeState implements sim.Resumable.
+func (n *Injector) EncodeState(enc *snapshot.Encoder) {
+	enc.I64(n.events)
+	enc.Dur(n.stolen)
+}
+
+// DecodeState implements sim.Resumable.
+func (n *Injector) DecodeState(ctx *sim.Context, dec *snapshot.Decoder) error {
+	n.ctx = ctx
+	n.events = dec.I64()
+	n.stolen = dec.Dur()
+	return dec.Err()
 }
 
 // Events returns the number of noise events injected.
@@ -100,4 +120,7 @@ func (n *Injector) Events() int64 { return n.events }
 // Stolen returns the total CPU time injected across all ranks.
 func (n *Injector) Stolen() simtime.Duration { return n.stolen }
 
-var _ sim.Agent = (*Injector)(nil)
+var (
+	_ sim.Agent     = (*Injector)(nil)
+	_ sim.Resumable = (*Injector)(nil)
+)

@@ -9,7 +9,10 @@
 // jitter) draw from decorrelated generators.
 package rng
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // Source is a deterministic xoshiro256** generator. The zero value is not
 // usable; construct with New.
@@ -61,6 +64,20 @@ func Derive(root uint64, labels ...uint64) uint64 {
 		s = s.Split(l)
 	}
 	return s.Uint64()
+}
+
+// State returns the generator's current internal state, for serialization.
+// FromState(r.State()) continues the stream exactly where r left off.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// FromState reconstructs a Source from a state captured with State. The
+// all-zero state is invalid for xoshiro (the stream would be constant zero)
+// and can only arise from corrupted input, so it is rejected.
+func FromState(s [4]uint64) (*Source, error) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return nil, errors.New("rng: all-zero state")
+	}
+	return &Source{s: s}, nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -18,6 +18,7 @@ import (
 
 	"checkpointsim/internal/cache"
 	"checkpointsim/internal/exp"
+	"checkpointsim/internal/sim"
 	"checkpointsim/internal/stats"
 )
 
@@ -43,6 +44,17 @@ type Config struct {
 	// MaxJobs caps the job registry; oldest terminal jobs are pruned
 	// (default 1024).
 	MaxJobs int
+	// SnapshotDir, when non-empty, persists mid-run simulator snapshots of
+	// scenario jobs to this directory (one atomically written file per
+	// job, keyed by cache key). A server restarted after a crash resumes a
+	// resubmitted scenario from its last persisted boundary instead of
+	// from t=0, byte-identically; the snapshot is deleted when the job
+	// completes. Experiment sweeps are not snapshotted — a sweep is many
+	// short simulations, and its natural unit of retry is the point.
+	SnapshotDir string
+	// SnapshotEvery is the event cadence for scenario-job snapshots
+	// (default 100000; only meaningful with SnapshotDir).
+	SnapshotEvery int64
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +76,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 100_000
+	}
 	return c
 }
 
@@ -74,6 +89,7 @@ type Server struct {
 	cache *cache.Cache
 	reg   *registry
 	mux   *http.ServeMux
+	snaps *snapshotStore // nil unless Config.SnapshotDir is set
 
 	queueMu  sync.RWMutex // excludes submits while the queue closes
 	queue    chan *Job
@@ -87,15 +103,19 @@ type Server struct {
 	nextID atomic.Int64
 
 	// metrics
-	reqMu      sync.Mutex
-	reqCounts  map[string]*stats.Counter // "path|code" → count
-	httpLat    *stats.LatencyHist
-	jobLat     *stats.LatencyHist
-	jobsByEnd  map[JobState]*stats.Counter
-	queueDepth stats.Gauge
-	running    stats.Gauge
-	simEvents  stats.Counter
-	started    time.Time
+	reqMu       sync.Mutex
+	reqCounts   map[string]*stats.Counter // "path|code" → count
+	httpLat     *stats.LatencyHist
+	jobLat      *stats.LatencyHist
+	jobsByEnd   map[JobState]*stats.Counter
+	queueDepth  stats.Gauge
+	running     stats.Gauge
+	simEvents   stats.Counter
+	jobResumes  stats.Counter // scenario jobs resumed from a persisted snapshot
+	snapsTaken  stats.Counter // snapshots persisted to SnapshotDir
+	snapErrors  stats.Counter // snapshot persist failures (job unaffected)
+	coldRetries stats.Counter // resumes that fell back to a cold run
+	started     time.Time
 }
 
 // New builds a server and starts its worker pool.
@@ -118,6 +138,9 @@ func New(cfg Config) *Server {
 			StateRejected: new(stats.Counter),
 		},
 		started: time.Now(),
+	}
+	if cfg.SnapshotDir != "" {
+		s.snaps = newSnapshotStore(cfg.SnapshotDir)
 	}
 	s.mux = s.buildMux()
 	for w := 0; w < cfg.Workers; w++ {
@@ -246,10 +269,39 @@ func (s *Server) runJob(job *Job) {
 		opts.Ctx = ctx
 		opts.Jobs = s.cfg.JobsPerRun
 		opts.Events = &events
+		if s.snaps != nil && job.Req.Scenario != nil {
+			// Persist the latest snapshot as the simulation progresses; a
+			// server killed mid-run leaves the blob behind, and the next
+			// submission of this job (same key) resumes from it.
+			opts.SnapshotEvery = s.cfg.SnapshotEvery
+			opts.OnSnapshot = func(snap sim.Snapshot) {
+				if serr := s.snaps.save(key, snap.Blob); serr != nil {
+					s.snapErrors.Inc()
+					return
+				}
+				s.snapsTaken.Inc()
+			}
+			if blob := s.snaps.load(key); blob != nil {
+				opts.ResumeFrom = blob
+				s.jobResumes.Inc()
+			}
+		}
 		tables, err := e.Run(opts)
+		if err != nil && opts.ResumeFrom != nil && ctx.Err() == nil {
+			// The persisted snapshot did not carry the run (corrupt blob,
+			// or written by an incompatible build): discard it and run
+			// cold. Resume is an optimization, never a dependency.
+			s.snaps.drop(key)
+			s.coldRetries.Inc()
+			opts.ResumeFrom = nil
+			tables, err = e.Run(opts)
+		}
 		s.simEvents.Add(events)
 		if err != nil {
 			return nil, err
+		}
+		if s.snaps != nil && opts.SnapshotEvery > 0 {
+			s.snaps.drop(key)
 		}
 		return encodeResult(e, tables)
 	})
@@ -284,6 +336,18 @@ func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
 // cache hits and shared results add nothing, which is exactly what the
 // dedup tests assert.
 func (s *Server) SimEvents() int64 { return s.simEvents.Value() }
+
+// JobResumes returns how many scenario jobs resumed from a persisted
+// snapshot instead of running from t=0.
+func (s *Server) JobResumes() int64 { return s.jobResumes.Value() }
+
+// SnapshotsTaken returns how many job snapshots were persisted to
+// Config.SnapshotDir.
+func (s *Server) SnapshotsTaken() int64 { return s.snapsTaken.Value() }
+
+// ColdRetries returns how many resume attempts fell back to a cold run
+// because the persisted snapshot failed to restore.
+func (s *Server) ColdRetries() int64 { return s.coldRetries.Value() }
 
 // --- HTTP layer ---
 
@@ -635,6 +699,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP sweepd_sim_events_total Simulation events executed by fresh (uncached) runs.\n")
 	p("# TYPE sweepd_sim_events_total counter\n")
 	p("sweepd_sim_events_total %d\n", s.simEvents.Value())
+
+	p("# HELP sweepd_job_snapshots_total Mid-run job snapshots persisted to the snapshot dir.\n")
+	p("# TYPE sweepd_job_snapshots_total counter\n")
+	p("sweepd_job_snapshots_total %d\n", s.snapsTaken.Value())
+	p("# TYPE sweepd_job_resumes_total counter\n")
+	p("sweepd_job_resumes_total %d\n", s.jobResumes.Value())
+	p("# TYPE sweepd_job_snapshot_errors_total counter\n")
+	p("sweepd_job_snapshot_errors_total %d\n", s.snapErrors.Value())
+	p("# TYPE sweepd_job_cold_retries_total counter\n")
+	p("sweepd_job_cold_retries_total %d\n", s.coldRetries.Value())
 
 	cs := s.cache.Stats()
 	p("# HELP sweepd_cache_hits_total Requests served from the result cache.\n")

@@ -39,6 +39,40 @@ func (c *Context) After(d simtime.Duration, fn func()) {
 	c.At(c.eng.now.Add(d), fn)
 }
 
+// OwnTimers registers o as a timer owner under a stable string key, enabling
+// AtOwned. Agents are registered automatically at New under "agent:<index>";
+// subsystems that are not agents (the shared storage arbiter) register
+// themselves when they bind to the simulation. Registration is idempotent
+// for the same (key, owner) pair; reusing a key for a different owner
+// panics — keys are the identity snapshots serialize.
+func (c *Context) OwnTimers(key string, o TimerOwner) {
+	c.eng.registerOwner(key, o)
+}
+
+// AtOwned schedules a defunctionalized timer: at absolute time t, o.OnTimer
+// (kind, arg) runs. Unlike At, the pending timer is pure data — it
+// serializes into snapshots and survives Restore with its exact queue
+// position. o must have been registered via OwnTimers (agents are
+// registered automatically). Scheduling in the past panics.
+func (c *Context) AtOwned(t simtime.Time, o TimerOwner, kind uint8, arg int64) {
+	if t < c.eng.now {
+		panic(fmt.Sprintf("sim: AtOwned(%v) is in the past (now %v)", t, c.eng.now))
+	}
+	id, ok := c.eng.ownerIDs[o]
+	if !ok {
+		panic(fmt.Sprintf("sim: AtOwned on unregistered TimerOwner %T", o))
+	}
+	c.eng.queue.Push(t, event{kind: evTimer, owner: id, tkind: kind, targ: arg})
+}
+
+// AfterOwned schedules a defunctionalized timer d from now (see AtOwned).
+func (c *Context) AfterOwned(d simtime.Duration, o TimerOwner, kind uint8, arg int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: AfterOwned(%v) negative", d))
+	}
+	c.AtOwned(c.eng.now.Add(d), o, kind, arg)
+}
+
 // SeizeCPU requests exclusive use of rank's CPU for duration d, accounted
 // under the given reason (e.g. "checkpoint", "recovery", "noise"). The
 // seizure is non-preemptive: it begins once the currently running job (if
@@ -100,7 +134,7 @@ func (c *Context) Mark(rank int, name string, detail int64) {
 	if c.eng.cfg.Trace == nil {
 		return
 	}
-	c.eng.cfg.Trace(TraceEvent{Type: TracePhase, Rank: rank, Kind: name,
+	c.eng.emitTrace(TraceEvent{Type: TracePhase, Rank: rank, Kind: name,
 		Start: c.eng.now, End: c.eng.now, Op: goal.NoOp, Detail: detail})
 }
 

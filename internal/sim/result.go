@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/snapshot"
 )
 
 // Result summarizes a completed simulation.
@@ -78,6 +79,60 @@ func (e *Engine) buildResult() *Result {
 		}
 	}
 	return r
+}
+
+// CanonicalBytes renders the result as a deterministic byte string: equal
+// results produce equal bytes and any field difference changes them
+// (map keys are emitted sorted). The crash–resume differential harness
+// compares these to prove a resumed run's remainder is byte-identical to
+// the monolithic run's.
+func (r *Result) CanonicalBytes() []byte {
+	var enc snapshot.Encoder
+	enc.Time(r.Makespan)
+	snapshot.EncodeI64Slice(&enc, r.RankFinish)
+	snapshot.EncodeI64Slice(&enc, r.RankBusy)
+	snapshot.EncodeI64Slice(&enc, r.RankCtlBusy)
+	snapshot.EncodeI64Slice(&enc, r.RankSeized)
+	snapshot.EncodeI64Slice(&enc, r.RankScaledExtra)
+	durMap := func(m map[string]simtime.Duration) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		enc.Int(len(keys))
+		for _, k := range keys {
+			enc.Str(k)
+			enc.Dur(m[k])
+		}
+	}
+	cntMap := func(m map[string]int64) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		enc.Int(len(keys))
+		for _, k := range keys {
+			enc.Str(k)
+			enc.I64(m[k])
+		}
+	}
+	durMap(r.SeizedTime)
+	cntMap(r.SeizedCount)
+	durMap(r.HeldTime)
+	cntMap(r.HeldCount)
+	enc.I64(r.Metrics.AppMessages)
+	enc.I64(r.Metrics.AppBytes)
+	enc.I64(r.Metrics.CtlMessages)
+	enc.I64(r.Metrics.CtlBytes)
+	enc.I64(r.Metrics.Rendezvous)
+	enc.I64(r.Metrics.Matches)
+	enc.Int(r.Metrics.UnexpectedMax)
+	enc.Int(r.Metrics.PostedMax)
+	enc.Dur(r.Metrics.FabricBusy)
+	enc.I64(r.Events)
+	return enc.Bytes()
 }
 
 // TotalSeized returns the CPU time seized across all ranks and reasons.

@@ -99,6 +99,15 @@ type Config struct {
 	MaxEvents int64
 	// MaxTime aborts simulations that pass this virtual time; 0 = no cap.
 	MaxTime simtime.Time
+	// SnapshotEvery, when > 0, asks the engine to capture a snapshot of its
+	// complete state at the first safe event boundary after every
+	// SnapshotEvery processed events (see Engine.Restore for the
+	// determinism contract). Requires OnSnapshot and that every agent
+	// implements Resumable.
+	SnapshotEvery int64
+	// OnSnapshot receives each captured snapshot, synchronously on the
+	// simulation loop. Required when SnapshotEvery > 0.
+	OnSnapshot func(Snapshot)
 	// Trace, when non-nil, receives the engine's event stream: one
 	// TraceCPU record per completed CPU job (the raw material for
 	// timelines and Gantt-style visualizations) plus grant, NIC,
@@ -213,9 +222,16 @@ const (
 
 type event struct {
 	kind evKind
-	rank int32
-	msg  *message
-	fn   func()
+	// tkind/owner/targ carry a defunctionalized timer (see TimerOwner): the
+	// event is data, not a closure, so it serializes into snapshots with its
+	// exact (time, priority, sequence) ordering key. fn is the legacy
+	// closure form; a timer uses exactly one of the two (fn == nil ⇒ owned).
+	tkind uint8
+	rank  int32
+	owner int32
+	targ  int64
+	msg   *message
+	fn    func()
 }
 
 type msgKind uint8
@@ -371,6 +387,15 @@ type Engine struct {
 	// steady-state engine loop allocates none.
 	msgFree []*message
 	ran     bool
+	// Snapshot/restore machinery (snapshot.go). owners maps dense timer-owner
+	// IDs to their handlers; ownerKeys holds the stable string key per ID so
+	// snapshots reference owners by name, not by registration order.
+	owners     []TimerOwner
+	ownerKeys  []string
+	ownerIDs   map[TimerOwner]int32
+	traceCount int64 // trace records emitted so far (resume suffix index)
+	snapAt     int64 // event count at the last snapshot
+	restored   bool  // Run must skip Init/activation: state came from Restore
 }
 
 // Metrics accumulates global counters during a run.
@@ -412,12 +437,26 @@ func New(cfg Config) (*Engine, error) {
 		rand:      rng.New(cfg.Seed),
 		reasonIDs: make(map[string]reasonID),
 	}
-	for _, a := range cfg.Agents {
+	if cfg.SnapshotEvery > 0 && cfg.OnSnapshot == nil {
+		return nil, fmt.Errorf("sim: SnapshotEvery set without OnSnapshot")
+	}
+	for i, a := range cfg.Agents {
 		if h, ok := a.(SendHook); ok {
 			e.hooks = append(e.hooks, h)
 		}
 		if h, ok := a.(MatchHook); ok {
 			e.matchHooks = append(e.matchHooks, h)
+		}
+		if cfg.SnapshotEvery > 0 {
+			if _, ok := a.(Resumable); !ok {
+				return nil, fmt.Errorf("sim: SnapshotEvery set but agent %d (%T) is not Resumable", i, a)
+			}
+		}
+		// Agents own their timers under a stable positional key, so a
+		// snapshot taken by one engine resolves in another built from the
+		// same Config (agent order is part of the config digest).
+		if o, ok := a.(TimerOwner); ok {
+			e.registerOwner(fmt.Sprintf("agent:%d", i), o)
 		}
 	}
 	return e, nil
@@ -477,17 +516,19 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	e.ran = true
 
-	ctx := &Context{eng: e}
-	for _, a := range e.cfg.Agents {
-		a.Init(ctx)
-	}
-	// Activate all initially-ready operations.
-	for i := range e.prog.Ops {
-		e.depsLeft[i] = int32(len(e.prog.Ops[i].Deps))
-	}
-	for i := range e.prog.Ops {
-		if e.depsLeft[i] == 0 {
-			e.activate(goal.OpID(i))
+	if !e.restored {
+		ctx := &Context{eng: e}
+		for _, a := range e.cfg.Agents {
+			a.Init(ctx)
+		}
+		// Activate all initially-ready operations.
+		for i := range e.prog.Ops {
+			e.depsLeft[i] = int32(len(e.prog.Ops[i].Deps))
+		}
+		for i := range e.prog.Ops {
+			if e.depsLeft[i] == 0 {
+				e.activate(goal.OpID(i))
+			}
 		}
 	}
 
@@ -515,7 +556,14 @@ func (e *Engine) Run() (*Result, error) {
 		case evArrive:
 			e.arrive(ev.msg)
 		case evTimer:
-			ev.fn()
+			if ev.fn != nil {
+				ev.fn()
+			} else {
+				e.owners[ev.owner].OnTimer(ev.tkind, ev.targ)
+			}
+		}
+		if e.cfg.SnapshotEvery > 0 && e.events-e.snapAt >= e.cfg.SnapshotEvery && e.opsLeft > 0 {
+			e.maybeSnapshot()
 		}
 	}
 	return e.buildResult(), nil
@@ -585,7 +633,7 @@ func (e *Engine) dispatch(rank int) {
 	st.jobStart = e.now
 	if e.cfg.Trace != nil {
 		kind, op := e.traceKind(&j)
-		e.cfg.Trace(TraceEvent{Type: TraceGrant, Rank: rank, Kind: kind,
+		e.emitTrace(TraceEvent{Type: TraceGrant, Rank: rank, Kind: kind,
 			Start: e.now, End: e.now, Op: op, Detail: int64(st.held)})
 	}
 	if j.kind == jobSeizeOpen {
@@ -630,15 +678,15 @@ func (e *Engine) jobDone(rank int) {
 			// Split the occupancy at the nominal boundary: the part any lone
 			// writer would pay, then the contention-induced wait.
 			split := st.jobStart.Add(simtime.MinDuration(j.nominal, dur))
-			e.cfg.Trace(TraceEvent{Rank: rank, Kind: e.seizeLabels[j.reason],
+			e.emitTrace(TraceEvent{Rank: rank, Kind: e.seizeLabels[j.reason],
 				Start: st.jobStart, End: split, Op: goal.NoOp})
 			if split < e.now {
-				e.cfg.Trace(TraceEvent{Rank: rank, Kind: e.seizeLabels[j.waitReason],
+				e.emitTrace(TraceEvent{Rank: rank, Kind: e.seizeLabels[j.waitReason],
 					Start: split, End: e.now, Op: goal.NoOp})
 			}
 		} else {
 			kind, op := e.traceKind(&j)
-			e.cfg.Trace(TraceEvent{Rank: rank, Kind: kind, Start: st.jobStart,
+			e.emitTrace(TraceEvent{Rank: rank, Kind: kind, Start: st.jobStart,
 				End: e.now, Op: op})
 		}
 	}
@@ -741,7 +789,7 @@ func (e *Engine) inject(rank int, m *message, wireBytes int64) {
 	inj := simtime.Max(e.now, st.nicFreeAt)
 	st.nicFreeAt = inj.Add(e.net.NIC(wireBytes))
 	if e.cfg.Trace != nil {
-		e.cfg.Trace(TraceEvent{Type: TraceNIC, Rank: rank, Kind: msgKindName(m.kind),
+		e.emitTrace(TraceEvent{Type: TraceNIC, Rank: rank, Kind: msgKindName(m.kind),
 			Start: inj, End: st.nicFreeAt, MsgID: m.id,
 			Src: int(m.src), Dst: int(m.dst), Wire: wireBytes})
 	}
@@ -763,7 +811,7 @@ func (e *Engine) inject(rank int, m *message, wireBytes int64) {
 	}
 	st.lastArrival[m.dst] = arr
 	if e.cfg.Trace != nil {
-		e.cfg.Trace(TraceEvent{Type: TraceInject, Rank: rank, Kind: msgKindName(m.kind),
+		e.emitTrace(TraceEvent{Type: TraceInject, Rank: rank, Kind: msgKindName(m.kind),
 			Start: inj, End: arr, MsgID: m.id, Src: int(m.src), Dst: int(m.dst),
 			Tag: m.tag, Bytes: m.bytes, Wire: wireBytes, Op: m.op, RecvOp: m.recvOp})
 	}
@@ -774,7 +822,7 @@ func (e *Engine) inject(rank int, m *message, wireBytes int64) {
 func (e *Engine) arrive(m *message) {
 	st := &e.ranks[m.dst]
 	if e.cfg.Trace != nil {
-		e.cfg.Trace(TraceEvent{Type: TraceArrive, Rank: int(m.dst), Kind: msgKindName(m.kind),
+		e.emitTrace(TraceEvent{Type: TraceArrive, Rank: int(m.dst), Kind: msgKindName(m.kind),
 			Start: e.now, End: e.now, MsgID: m.id, Src: int(m.src), Dst: int(m.dst),
 			Tag: m.tag, Bytes: m.bytes, Wire: m.wire, Op: m.op, RecvOp: m.recvOp})
 	}
@@ -818,7 +866,7 @@ func (e *Engine) matched(m *message, recvOp goal.OpID) {
 	e.metrics.Matches++
 	st := &e.ranks[m.dst]
 	if e.cfg.Trace != nil {
-		e.cfg.Trace(TraceEvent{Type: TraceMatch, Rank: int(m.dst), Kind: msgKindName(m.kind),
+		e.emitTrace(TraceEvent{Type: TraceMatch, Rank: int(m.dst), Kind: msgKindName(m.kind),
 			Start: e.now, End: e.now, MsgID: m.id, Src: int(m.src), Dst: int(m.dst),
 			Tag: m.tag, Bytes: m.bytes, Op: m.op, RecvOp: recvOp})
 	}

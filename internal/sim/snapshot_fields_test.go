@@ -1,0 +1,189 @@
+package sim
+
+// Exhaustive-field audit of the snapshot format: every field of every
+// struct that holds (or could hold) mid-run simulator state must have an
+// explicit entry saying how snapshot/restore handles it. Adding a field to
+// any of these structs fails this test until the entry — and, for mutable
+// state, the encodeSnapshot/Restore handling — is added. This is the
+// mechanism that keeps the serialization complete as the engine grows; the
+// byte-identity suites prove the handled fields round-trip, this test
+// proves no field goes unhandled.
+
+import (
+	"reflect"
+	"testing"
+
+	"checkpointsim/internal/network"
+)
+
+// requireFields fails for any struct field missing from handled (new state
+// the snapshot doesn't know about) and any handled entry missing from the
+// struct (stale documentation).
+func requireFields(t *testing.T, typ reflect.Type, handled map[string]string) {
+	t.Helper()
+	inStruct := make(map[string]bool, typ.NumField())
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		inStruct[name] = true
+		if _, ok := handled[name]; !ok {
+			t.Errorf("%s.%s has no snapshot-handling entry: wire it into "+
+				"encodeSnapshot/Restore (or document the exclusion) and record it here", typ, name)
+		}
+	}
+	for name := range handled {
+		if !inStruct[name] {
+			t.Errorf("%s.%s is in the handling table but not in the struct — drop the stale entry", typ, name)
+		}
+	}
+}
+
+func TestSnapshotCoversEngineFields(t *testing.T) {
+	requireFields(t, reflect.TypeOf(Engine{}), map[string]string{
+		"cfg":         "immutable configuration; fingerprinted into the blob's config digest",
+		"prog":        "immutable program; content-hashed into the config digest",
+		"net":         "immutable parameters; hashed field-by-field into the config digest",
+		"queue":       "serialized: seq counter plus every event with its exact (t,prio,seq) key",
+		"now":         "serialized scalar",
+		"ranks":       "serialized per rank (encodeRank/decodeRank)",
+		"depsLeft":    "serialized; open-count cross-checked against opsLeft on restore",
+		"opsLeft":     "serialized scalar",
+		"hooks":       "rebuilt at New from the agent stack (agent types are digest-covered)",
+		"matchHooks":  "rebuilt at New from the agent stack (agent types are digest-covered)",
+		"rand":        "serialized: full 4-word xoshiro256** state",
+		"events":      "serialized scalar (restored counters keep resumed totals identical)",
+		"metrics":     "serialized field-by-field (see TestSnapshotCoversMetricsFields)",
+		"fabricFree":  "serialized scalar",
+		"nextMsgID":   "serialized scalar",
+		"reasonIDs":   "rebuilt on restore from the interned reason table",
+		"reasons":     "serialized in ID order so restored reasonIDs keep meaning",
+		"seizeLabels": "rebuilt on restore (derived: \"seize:\" + reason)",
+		"seizeTime":   "serialized with the reason table",
+		"seizeCnt":    "serialized with the reason table",
+		"heldTime":    "serialized with the reason table",
+		"heldCnt":     "serialized with the reason table",
+		"msgFree": "deliberately NOT serialized: the recycling pool holds only zeroed " +
+			"structs awaiting reuse; a restored engine rebuilds it empty with no " +
+			"observable effect on the simulation (see encodeSnapshot)",
+		"ran":        "runtime guard, not simulation state; doubles as the restore-failure poison",
+		"owners":     "rebuilt at New/registration; snapshots reference owners by key, not index",
+		"ownerKeys":  "serialized as the owner key table; restore rebinds by key",
+		"ownerIDs":   "rebuilt at New/registration",
+		"traceCount": "serialized scalar (anchors the resume trace suffix)",
+		"snapAt":     "reset to the restored event count (cadence restarts at the boundary)",
+		"restored":   "runtime guard: tells Run to skip Init/activation",
+	})
+}
+
+func TestSnapshotCoversRankStateFields(t *testing.T) {
+	requireFields(t, reflect.TypeOf(rankState{}), map[string]string{
+		"running":     "serialized",
+		"runningJob":  "serialized when running",
+		"jobStart":    "serialized when running",
+		"seizeQ":      "serialized job-by-job",
+		"ctlQ":        "serialized job-by-job",
+		"appQ":        "serialized job-by-job",
+		"held":        "must be zero at a safe boundary (open holds carry closures); encodeRank panics otherwise",
+		"scales":      "must be empty at a safe boundary (restores carry closures); encodeRank panics otherwise",
+		"scaledExtra": "serialized",
+		"nicFreeAt":   "serialized",
+		"posted":      "serialized (op IDs)",
+		"unexpected":  "serialized message-by-message",
+		"lastArrival": "serialized (presence flag + flat slice)",
+		"finish":      "serialized",
+		"busy":        "serialized",
+		"ctlBusy":     "serialized",
+		"seizedBusy":  "serialized",
+	})
+}
+
+func TestSnapshotCoversJobFields(t *testing.T) {
+	requireFields(t, reflect.TypeOf(job{}), map[string]string{
+		"kind":       "serialized; jobSeizeOpen rejected on decode (always closure-bearing)",
+		"cost":       "serialized",
+		"op":         "serialized; bounds-checked on decode",
+		"msg":        "serialized inline when present",
+		"reason":     "serialized; bounds-checked against the restored reason table",
+		"fn":         "closure: jobSerializable blocks the snapshot boundary while set",
+		"nominal":    "serialized",
+		"waitReason": "serialized; bounds-checked against the restored reason table",
+		"granted":    "closure: jobSerializable blocks the snapshot boundary while set",
+	})
+}
+
+func TestSnapshotCoversMessageFields(t *testing.T) {
+	requireFields(t, reflect.TypeOf(message{}), map[string]string{
+		"kind":    "serialized; bounds-checked on decode",
+		"id":      "serialized",
+		"src":     "serialized; bounds-checked on decode",
+		"dst":     "serialized; bounds-checked on decode",
+		"tag":     "serialized",
+		"bytes":   "serialized",
+		"wire":    "serialized",
+		"op":      "serialized; bounds-checked on decode",
+		"recvOp":  "serialized; bounds-checked on decode",
+		"deliver": "closure: eventSerializable/jobSerializable block the boundary while set",
+	})
+}
+
+func TestSnapshotCoversEventFields(t *testing.T) {
+	requireFields(t, reflect.TypeOf(event{}), map[string]string{
+		"kind":  "serialized; unknown kinds rejected on decode",
+		"tkind": "serialized for owned timers",
+		"rank":  "serialized for evJobDone; bounds-checked on decode",
+		"owner": "serialized as an owner-table index; rebound by key on restore",
+		"targ":  "serialized for owned timers",
+		"msg":   "serialized for evArrive",
+		"fn":    "legacy closure timer: eventSerializable blocks the boundary while set",
+	})
+}
+
+func TestSnapshotCoversMetricsFields(t *testing.T) {
+	requireFields(t, reflect.TypeOf(Metrics{}), map[string]string{
+		"AppMessages":   "serialized",
+		"AppBytes":      "serialized",
+		"CtlMessages":   "serialized",
+		"CtlBytes":      "serialized",
+		"Rendezvous":    "serialized",
+		"Matches":       "serialized",
+		"UnexpectedMax": "serialized",
+		"PostedMax":     "serialized",
+		"FabricBusy":    "serialized",
+	})
+}
+
+func TestSnapshotCoversPostedRecvFields(t *testing.T) {
+	requireFields(t, reflect.TypeOf(postedRecv{}), map[string]string{
+		"op": "serialized",
+	})
+}
+
+// TestSnapshotCoversConfigFields pins the config-digest policy: every
+// Config field either shapes the simulation's future evolution (and must be
+// digest-covered so a snapshot refuses to resume under a different value)
+// or is a pure observer (and must stay out, so observers can vary freely
+// between the snapshotting and resuming process).
+func TestSnapshotCoversConfigFields(t *testing.T) {
+	requireFields(t, reflect.TypeOf(Config{}), map[string]string{
+		"Net":           "digest-covered (every parameter, see TestSnapshotCoversNetworkParams)",
+		"Program":       "digest-covered via content hash",
+		"Agents":        "digest-covered positionally by type; parameter identity is the caller's cache key",
+		"Seed":          "digest-covered",
+		"MaxEvents":     "digest-covered (caps change which runs error)",
+		"MaxTime":       "digest-covered (caps change which runs error)",
+		"SnapshotEvery": "pure observer, outside the digest: cadence never alters simulation state",
+		"OnSnapshot":    "pure observer, outside the digest",
+		"Trace":         "pure observer, outside the digest; traceCount keeps resume suffixes aligned",
+	})
+}
+
+func TestSnapshotCoversNetworkParams(t *testing.T) {
+	requireFields(t, reflect.TypeOf(network.Params{}), map[string]string{
+		"Latency":              "digest-covered",
+		"Overhead":             "digest-covered",
+		"Gap":                  "digest-covered",
+		"GapPerByte":           "digest-covered",
+		"OverheadPerByte":      "digest-covered",
+		"RendezvousThreshold":  "digest-covered",
+		"BisectionBytesPerSec": "digest-covered",
+	})
+}

@@ -34,7 +34,9 @@ import (
 	"fmt"
 	"math"
 
+	"checkpointsim/internal/sim"
 	"checkpointsim/internal/simtime"
+	"checkpointsim/internal/snapshot"
 )
 
 // Tier selects which storage tier a write targets.
@@ -263,6 +265,57 @@ func (s *Store) Bind(sc Sched) {
 	}
 	s.sched = sc
 	s.lastAt = sc.Now()
+	if ctx, ok := sc.(*sim.Context); ok {
+		ctx.OwnTimers("store", s)
+	}
+}
+
+// Quiesced reports whether the store holds no in-flight drains. Pending
+// completion callbacks (write.drained) are closures, so the snapshot
+// boundary waits for the store to empty; superseded generation-guarded
+// timers may still sit in the queue, but on the owned-timer path those are
+// plain data and restore harmlessly.
+func (s *Store) Quiesced() bool { return len(s.writes) == 0 }
+
+// EncodeState serializes the store's persistent state. Only call when
+// Quiesced: in-flight writes carry completion closures and cannot
+// serialize. The membership caches (nodeCount, globalCount) are all zero at
+// quiescence and rebuild as writes join, so only the generation counter and
+// the accumulated stats travel.
+func (s *Store) EncodeState(enc *snapshot.Encoder) {
+	if len(s.writes) != 0 {
+		panic("storage: EncodeState with in-flight writes")
+	}
+	enc.U64(s.gen)
+	enc.I64(s.stats.Writes)
+	enc.I64(s.stats.Bytes)
+	enc.Dur(s.stats.WaitTime)
+	enc.Int(s.stats.PeakWriters)
+}
+
+// RestoreState rebinds the store to a (possibly different) scheduler and
+// reinitializes every mutable field from a stream written by EncodeState.
+// Protocols call it from their DecodeState; unlike Bind, it deliberately
+// overrides an existing binding, because the same Store object may have
+// been driven by the snapshotting engine before being restored into the
+// resuming one.
+func (s *Store) RestoreState(sc Sched, dec *snapshot.Decoder) error {
+	s.sched = sc
+	s.lastAt = sc.Now()
+	s.writes = nil
+	s.nodeCount = nil
+	s.globalCount = 0
+	s.gen = dec.U64()
+	s.stats = Stats{
+		Writes:      dec.I64(),
+		Bytes:       dec.I64(),
+		WaitTime:    dec.Dur(),
+		PeakWriters: dec.Int(),
+	}
+	if ctx, ok := sc.(*sim.Context); ok {
+		ctx.OwnTimers("store", s)
+	}
+	return dec.Err()
 }
 
 // node returns the node hosting rank.
@@ -382,6 +435,14 @@ func (s *Store) reschedule() {
 		}
 	}
 	t := s.lastAt.Add(ceilSeconds(minDt))
+	if ctx, ok := s.sched.(*sim.Context); ok {
+		// Defunctionalized path: the pending completion is data (owner key
+		// "store", generation as the argument), so it serializes into
+		// snapshots — a superseded timer that outlives its writes would
+		// otherwise be an un-serializable closure blocking every boundary.
+		ctx.AtOwned(t, s, 0, int64(s.gen))
+		return
+	}
 	gen := s.gen
 	s.sched.At(t, func() {
 		if gen != s.gen {
@@ -389,6 +450,16 @@ func (s *Store) reschedule() {
 		}
 		s.onTimer(t)
 	})
+}
+
+// OnTimer receives the store's defunctionalized completion timers (arg is
+// the scheduling generation; stale generations are superseded no-ops). The
+// firing time is the scheduled time, i.e. the scheduler's current Now.
+func (s *Store) OnTimer(kind uint8, arg int64) {
+	if uint64(arg) != s.gen {
+		return
+	}
+	s.onTimer(s.sched.Now())
 }
 
 // onTimer fires at the projected next completion: advance, retire every
