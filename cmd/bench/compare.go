@@ -54,12 +54,18 @@ func (r Regression) Ratio() float64 {
 }
 
 // Compare diffs cur against old and returns every metric that regressed
-// beyond tol (a fraction: 0.10 allows a 10% slowdown). Both wall time and
-// allocation count gate — an alloc regression is a real hot-path change
-// even when the machine is fast enough to hide it. Entries present in only
-// one file are skipped: a new experiment has no baseline, and a retired one
-// has nothing to protect. Modes must match; comparing a quick run against
-// a full baseline would flag nonsense.
+// beyond tol (a fraction: 0.10 allows a 10% slowdown). Wall time,
+// allocation count, and event throughput all gate — an alloc regression is
+// a real hot-path change even when the machine is fast enough to hide it,
+// and events/sec catches an engine that got slower per event while the
+// experiment got cheaper overall. The events/sec ratio is skipped when
+// either side recorded zero: entries written before the events counter
+// existed (or runs that simulated nothing) are documented to carry zero,
+// and a zero baseline must read as "no data", not as an infinite-ratio
+// verdict. Entries present in only one file are skipped: a new experiment
+// has no baseline, and a retired one has nothing to protect. Modes must
+// match; comparing a quick run against a full baseline would flag
+// nonsense.
 func Compare(old, cur File, tol float64) []Regression {
 	var regs []Regression
 	for _, n := range cur.Entries {
@@ -73,6 +79,13 @@ func Compare(old, cur File, tol float64) []Regression {
 		if exceeded(float64(o.AllocsPerOp), float64(n.AllocsPerOp), tol) {
 			regs = append(regs, Regression{n.Name, "allocs/op",
 				float64(o.AllocsPerOp), float64(n.AllocsPerOp)})
+		}
+		// Throughput regresses downward, so the check inverts: cur below
+		// old's tolerance band fails.
+		if o.EventsPerSec > 0 && n.EventsPerSec > 0 &&
+			n.EventsPerSec < o.EventsPerSec*(1-tol) {
+			regs = append(regs, Regression{n.Name, "events/sec",
+				o.EventsPerSec, n.EventsPerSec})
 		}
 	}
 	return regs

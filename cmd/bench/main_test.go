@@ -55,6 +55,47 @@ func TestCompareFlagsAllocRegression(t *testing.T) {
 	}
 }
 
+func TestCompareFlagsThroughputRegression(t *testing.T) {
+	old := baseline()
+	cur := baseline()
+	cur.Entries[0].EventsPerSec = old.Entries[0].EventsPerSec * 0.5
+	regs := Compare(old, cur, 0.25)
+	if len(regs) != 1 || regs[0].Name != "E8" || regs[0].Metric != "events/sec" {
+		t.Fatalf("want the E8 events/sec regression, got %+v", regs)
+	}
+	// A drop inside the band passes.
+	cur.Entries[0].EventsPerSec = old.Entries[0].EventsPerSec * 0.8
+	if regs := Compare(old, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("in-band throughput drop flagged: %+v", regs)
+	}
+}
+
+func TestCompareSkipsZeroEventsPerSec(t *testing.T) {
+	// Entries recorded before the events counter existed carry zero — the
+	// gate must skip the throughput ratio for them, in either direction,
+	// rather than produce a divide-by-zero or infinite-ratio verdict.
+	old := baseline()
+	old.Entries[0].EventsPerSec = 0 // zero baseline, measured current
+	cur := baseline()
+	if regs := Compare(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("zero-baseline entry flagged: %+v", regs)
+	}
+	old = baseline()
+	cur.Entries[0].EventsPerSec = 0 // measured baseline, zero current
+	if regs := Compare(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("zero-current entry flagged: %+v", regs)
+	}
+	old.Entries[0].EventsPerSec = 0 // zero on both sides
+	if regs := Compare(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("zero-both entry flagged: %+v", regs)
+	}
+	for _, r := range Compare(old, cur, 0.10) {
+		if r.Ratio() != r.Ratio() { // NaN check
+			t.Fatalf("NaN ratio from zero entry: %+v", r)
+		}
+	}
+}
+
 func TestCompareWithinToleranceAndNewEntries(t *testing.T) {
 	old := baseline()
 	cur := baseline()

@@ -28,6 +28,20 @@ func (b *Builder) NumRanks() int { return b.numRanks }
 // NumOps returns the number of operations added so far.
 func (b *Builder) NumOps() int { return len(b.ops) }
 
+// Grow reserves capacity for at least n additional operations. Generators
+// that can estimate their op count from the geometry call it once up front:
+// growing a 100k-op program by doubling re-copies every Op (a wide struct
+// with pointer fields) a dozen times, which shows up in trace-build time.
+// An overestimate only wastes capacity until Build.
+func (b *Builder) Grow(n int) {
+	if n <= cap(b.ops)-len(b.ops) {
+		return
+	}
+	ops := make([]Op, len(b.ops), len(b.ops)+n)
+	copy(ops, b.ops)
+	b.ops = ops
+}
+
 func (b *Builder) add(op Op) OpID {
 	op.ID = OpID(len(b.ops))
 	b.ops = append(b.ops, op)
@@ -75,27 +89,70 @@ func (b *Builder) SetLabel(op OpID, label string) {
 func (b *Builder) Build() (*Program, error) {
 	p := &Program{NumRanks: b.numRanks, Ops: b.ops}
 	b.ops = nil // the builder gives up ownership
-	// Deduplicate dependency lists and construct reverse edges.
+	// Deduplicate dependency lists, keeping first occurrences in order.
+	// Typical lists are a handful of entries (a join of a few forks), where
+	// a quadratic scan beats allocating a set; genuinely wide joins (a farm
+	// master collecting from every worker) fall back to one.
 	for i := range p.Ops {
 		op := &p.Ops[i]
-		if len(op.Deps) > 1 {
+		if len(op.Deps) <= 1 {
+			continue
+		}
+		kept := op.Deps[:0]
+		if len(op.Deps) <= 32 {
+		scan:
+			for _, d := range op.Deps {
+				for _, k := range kept {
+					if k == d {
+						continue scan
+					}
+				}
+				kept = append(kept, d)
+			}
+		} else {
 			seen := make(map[OpID]struct{}, len(op.Deps))
-			kept := op.Deps[:0]
 			for _, d := range op.Deps {
 				if _, dup := seen[d]; !dup {
 					seen[d] = struct{}{}
 					kept = append(kept, d)
 				}
 			}
-			op.Deps = kept
 		}
+		op.Deps = kept
+	}
+	// Reverse edges and per-rank index, both carved from single counted
+	// arenas: a per-op append-with-growth here costs more allocations than
+	// the rest of Build combined.
+	outCnt := make([]int32, len(p.Ops))
+	total := 0
+	for i := range p.Ops {
+		for _, d := range p.Ops[i].Deps {
+			outCnt[d]++
+			total++
+		}
+	}
+	outArena := make([]OpID, 0, total)
+	for i := range p.Ops {
+		n := len(outArena)
+		outArena = outArena[:n+int(outCnt[i])]
+		p.Ops[i].Outs = outArena[n:n:len(outArena)]
 	}
 	for i := range p.Ops {
 		for _, d := range p.Ops[i].Deps {
 			p.Ops[d].Outs = append(p.Ops[d].Outs, OpID(i))
 		}
 	}
+	rankCnt := make([]int32, p.NumRanks)
+	for i := range p.Ops {
+		rankCnt[p.Ops[i].Rank]++
+	}
+	rankArena := make([]OpID, 0, len(p.Ops))
 	p.byRank = make([][]OpID, p.NumRanks)
+	for r := range p.byRank {
+		n := len(rankArena)
+		rankArena = rankArena[:n+int(rankCnt[r])]
+		p.byRank[r] = rankArena[n:n:len(rankArena)]
+	}
 	for i := range p.Ops {
 		r := p.Ops[i].Rank
 		p.byRank[r] = append(p.byRank[r], OpID(i))

@@ -13,6 +13,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"checkpointsim/internal/network"
 )
@@ -100,31 +101,27 @@ func SystemMTBF(nodeMTBF float64, nodes int) float64 {
 }
 
 // TreeDepth returns the binomial-tree depth used by the coordination
-// protocol: the maximum popcount over virtual ranks below p.
+// protocol: the maximum popcount over virtual ranks below p. Closed form in
+// O(log p): the maximum is attained either at x = p-1 itself or at one of
+// the values obtained from x by clearing a set bit and setting every bit
+// below it (each such value is < x, and any v < p agrees with x on some
+// prefix, has a 0 where x has 1, and is maximized by all-ones below — so
+// every candidate maximum is of this shape).
 func TreeDepth(p int) int {
 	if p <= 1 {
 		return 0
 	}
-	d := 0
-	for v := p - 1; ; v-- {
-		pc := popcount(v)
-		if pc > d {
-			d = pc
-		}
-		// The max popcount below p is attained within the top half.
-		if v <= p/2 {
-			break
+	x := uint(p - 1)
+	best := bits.OnesCount(x)
+	for i := 0; i < bits.Len(x); i++ {
+		if x&(1<<i) != 0 {
+			cand := (x &^ (1 << i)) | (1<<i - 1)
+			if c := bits.OnesCount(cand); c > best {
+				best = c
+			}
 		}
 	}
-	return d
-}
-
-func popcount(v int) int {
-	c := 0
-	for x := v; x > 0; x &= x - 1 {
-		c++
-	}
-	return c
+	return best
 }
 
 // CoordinationDelay returns the closed-form minimum latency of one

@@ -94,16 +94,33 @@ func TestSystemMTBF(t *testing.T) {
 }
 
 func TestTreeDepth(t *testing.T) {
-	// Brute-force reference.
-	for p := 1; p <= 300; p++ {
+	// Brute-force reference: max popcount over all virtual ranks below p.
+	brute := func(p int) int {
 		want := 0
 		for v := 0; v < p; v++ {
-			if pc := popcount(v); pc > want {
-				want = pc
+			c := 0
+			for x := v; x > 0; x &= x - 1 {
+				c++
+			}
+			if c > want {
+				want = c
 			}
 		}
-		if got := TreeDepth(p); got != want {
-			t.Errorf("TreeDepth(%d) = %d, want %d", p, got, want)
+		return want
+	}
+	for p := 1; p <= 5000; p++ {
+		if got := TreeDepth(p); got != brute(p) {
+			t.Fatalf("TreeDepth(%d) = %d, want %d", p, got, brute(p))
+		}
+	}
+	// Adversarial shapes around powers of two and all-ones runs, where the
+	// closed form's candidate set is exercised hardest.
+	for _, base := range []int{1 << 10, 1 << 16, 1 << 20} {
+		for d := -3; d <= 3; d++ {
+			p := base + d
+			if got := TreeDepth(p); got != brute(p) {
+				t.Fatalf("TreeDepth(%d) = %d, want %d", p, got, brute(p))
+			}
 		}
 	}
 	cases := map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 1024: 10, 1025: 10}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"checkpointsim/internal/exp"
@@ -69,6 +70,9 @@ func TestScenarioSnapshotLifecycle(t *testing.T) {
 	}
 	if n := snapSrv.JobResumes(); n != 0 {
 		t.Errorf("fresh run counted %d resumes", n)
+	}
+	if n := snapSrv.ColdRetries(); n != 0 {
+		t.Errorf("fresh run counted %d cold retries", n)
 	}
 	left, _ := filepath.Glob(filepath.Join(dir, "*"))
 	if len(left) != 0 {
@@ -149,6 +153,42 @@ func TestResumeCorruptSnapshotFallsBackCold(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, key+".ckpt")); !os.IsNotExist(err) {
 		t.Errorf("corrupt blob not cleaned up (err=%v)", err)
+	}
+}
+
+// TestColdRetriesCountExactlyOncePerFallback: the cold_retries_total
+// counter is per-fallback accounting, not a boolean — two jobs that each
+// discard a corrupt snapshot must advance it to exactly 2, once per failed
+// restore, and the Prometheus endpoint must report the same figure.
+func TestColdRetriesCountExactlyOncePerFallback(t *testing.T) {
+	scA := resumeScenario
+	scB := resumeScenario
+	scB.Seed = scA.Seed + 1 // distinct cache key, so the second job really runs
+
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, Config{SnapshotDir: dir, SnapshotEvery: resumeCadence})
+	for i, sc := range []exp.Scenario{scA, scB} {
+		blob := midRunBlob(t, sc)
+		key := ScenarioCacheKey("test", sc, network.DefaultParams())
+		if err := os.WriteFile(filepath.Join(dir, key+".ckpt"), blob[:len(blob)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		runScenarioSync(t, ts.URL, sc)
+		if n := srv.ColdRetries(); n != int64(i+1) {
+			t.Fatalf("after fallback %d: ColdRetries = %d, want %d", i+1, n, i+1)
+		}
+	}
+	if n := srv.JobResumes(); n != 2 {
+		t.Errorf("JobResumes = %d, want 2 (both restores were attempted)", n)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(readBody(t, resp))
+	if want := "sweepd_job_cold_retries_total 2"; !strings.Contains(metrics, want) {
+		t.Errorf("metrics missing %q:\n%s", want, metrics)
 	}
 }
 

@@ -317,16 +317,28 @@ func (s *Server) runJob(job *Job) {
 }
 
 // retryAfterSeconds estimates how long a client should back off when the
-// queue is full: one mean job duration, clamped to [1, 60] seconds.
+// queue is full: the time for the backlog ahead of a retry to drain across
+// the worker pool, plus one slot for the retry itself, at the recent mean
+// job latency — (depth/workers + 1) × mean. A constant here under-advises
+// whenever the queue is deep (clients hammer a still-full queue) and
+// over-advises on an empty-but-bursty one. Clamped to [1, 60] seconds:
+// Retry-After is a hint, not a reservation, and an hour-long backoff would
+// outlive most clients. With no completed jobs yet there is no latency
+// estimate, so the floor applies.
 func (s *Server) retryAfterSeconds() int {
 	mean := s.jobLat.Mean()
-	if math.IsNaN(mean) || mean < 1 {
+	if math.IsNaN(mean) || mean <= 0 {
 		return 1
 	}
-	if mean > 60 {
+	backlog := float64(s.queueDepth.Value())/float64(s.cfg.Workers) + 1
+	secs := math.Ceil(backlog * mean)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
 		return 60
 	}
-	return int(math.Ceil(mean))
+	return int(secs)
 }
 
 // CacheStats exposes the result cache counters (tests and cmd/sweepd logs).

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -296,8 +297,12 @@ func TestQueueFullBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-capacity submit: %d %s, want 429", resp.StatusCode, body)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	// Retry-After must parse as non-negative integer seconds (RFC 9110
+	// delay-seconds) — a float or duration string breaks real clients.
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Error("429 without Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After %q does not parse as positive integer seconds", ra)
 	}
 	// Backpressure must also apply to the synchronous endpoint.
 	resp = postJSON(t, ts.URL+"/api/v1/run", `{"exp":"E1","quick":true,"seed":105}`)
@@ -305,6 +310,36 @@ func TestQueueFullBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("sync run over capacity: %d, want 429", resp.StatusCode)
 	}
+}
+
+// retryAfterSeconds scales with the backlog: a deeper queue advises a
+// longer backoff, the clamp bounds both ends, and a server with no latency
+// history falls back to the 1-second floor.
+func TestRetryAfterTracksQueueDepth(t *testing.T) {
+	s := New(Config{Version: "test", Workers: 2, Queue: 8})
+	defer s.Close()
+
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("no history: Retry-After %d, want floor 1", got)
+	}
+
+	// Recent jobs took ~2s each; (depth/workers + 1) × 2s.
+	for i := 0; i < 10; i++ {
+		s.jobLat.Observe(2.0)
+	}
+	s.queueDepth.Set(0)
+	if got := s.retryAfterSeconds(); got != 2 {
+		t.Errorf("empty queue: Retry-After %d, want 2", got)
+	}
+	s.queueDepth.Set(6)
+	if got := s.retryAfterSeconds(); got != 8 {
+		t.Errorf("depth 6, 2 workers: Retry-After %d, want (6/2+1)*2 = 8", got)
+	}
+	s.queueDepth.Set(1000) // pathological backlog hits the ceiling
+	if got := s.retryAfterSeconds(); got != 60 {
+		t.Errorf("deep queue: Retry-After %d, want clamp 60", got)
+	}
+	s.queueDepth.Set(0)
 }
 
 // A client that disconnects mid-run cancels its sweep: the job fails with

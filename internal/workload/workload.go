@@ -16,12 +16,22 @@ package workload
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"checkpointsim/internal/collective"
 	"checkpointsim/internal/goal"
 	"checkpointsim/internal/rng"
 	"checkpointsim/internal/simtime"
 )
+
+// reserve pre-sizes the builder from the generator's op-count estimate, so
+// trace construction appends into place instead of re-copying the op table
+// on every capacity doubling. Estimates only need the right magnitude.
+func reserve(b *goal.Builder, est int) { b.Grow(est) }
+
+// allreduceOps roughly bounds the ops one tree allreduce adds: two sweeps
+// of sends/recvs plus join nodes, per rank, times the tree depth.
+func allreduceOps(ranks int) int { return 6 * ranks * (bits.Len(uint(ranks)) + 1) }
 
 // Base holds the parameters common to all workloads.
 type Base struct {
@@ -136,6 +146,11 @@ func Stencil2D(cfg Stencil2DConfig) (*goal.Program, error) {
 	px, py := Dims2(cfg.Ranks)
 	rankOf := func(x, y int) int { return y*px + x }
 	b := goal.NewBuilder(cfg.Ranks)
+	est := cfg.Iterations * cfg.Ranks * 10 // calc + ≤4 halo pairs + join
+	if cfg.ReduceEvery > 0 {
+		est += cfg.Iterations / cfg.ReduceEvery * allreduceOps(cfg.Ranks)
+	}
+	reserve(b, est)
 	seqs := make([]*goal.Sequencer, cfg.Ranks)
 	for i := range seqs {
 		seqs[i] = b.Seq(i)
@@ -213,6 +228,11 @@ func Stencil3D(cfg Stencil3DConfig) (*goal.Program, error) {
 	px, py, pz := Dims3(cfg.Ranks)
 	rankOf := func(x, y, z int) int { return (z*py+y)*px + x }
 	b := goal.NewBuilder(cfg.Ranks)
+	est := cfg.Iterations * cfg.Ranks * 14 // calc + ≤6 halo pairs + join
+	if cfg.ReduceEvery > 0 {
+		est += cfg.Iterations / cfg.ReduceEvery * allreduceOps(cfg.Ranks)
+	}
+	reserve(b, est)
 	seqs := make([]*goal.Sequencer, cfg.Ranks)
 	for i := range seqs {
 		seqs[i] = b.Seq(i)
@@ -290,6 +310,7 @@ func Sweep(cfg SweepConfig) (*goal.Program, error) {
 	px, py := Dims2(cfg.Ranks)
 	rankOf := func(x, y int) int { return y*px + x }
 	b := goal.NewBuilder(cfg.Ranks)
+	reserve(b, cfg.Iterations*cfg.Ranks*5) // ≤2 recvs + calc + ≤2 sends
 	seqs := make([]*goal.Sequencer, cfg.Ranks)
 	for i := range seqs {
 		seqs[i] = b.Seq(i)
@@ -370,6 +391,7 @@ func CG(cfg CGConfig) (*goal.Program, error) {
 	}
 	p := cfg.Ranks
 	b := goal.NewBuilder(p)
+	reserve(b, cfg.Iterations*(p*6+cfg.DotsPerIter*allreduceOps(p)))
 	seqs := make([]*goal.Sequencer, p)
 	for i := range seqs {
 		seqs[i] = b.Seq(i)
@@ -429,6 +451,7 @@ func Transpose(cfg TransposeConfig) (*goal.Program, error) {
 	}
 	p := cfg.Ranks
 	b := goal.NewBuilder(p)
+	reserve(b, cfg.Iterations*p*(2*p+2)) // calc + pairwise exchange + join
 	seqs := make([]*goal.Sequencer, p)
 	for i := range seqs {
 		seqs[i] = b.Seq(i)
@@ -479,6 +502,7 @@ func Farm(cfg FarmConfig) (*goal.Program, error) {
 	p := cfg.Ranks
 	workers := p - 1
 	b := goal.NewBuilder(p)
+	reserve(b, cfg.Iterations*(workers*5+4)) // dispatch+joins, 3 ops/worker, collect
 	master := b.Seq(0)
 	wseqs := make([]*goal.Sequencer, workers)
 	for i := range wseqs {
@@ -532,6 +556,7 @@ func EP(cfg EPConfig) (*goal.Program, error) {
 		cfg.FinalReduceBytes = 8
 	}
 	b := goal.NewBuilder(cfg.Ranks)
+	reserve(b, cfg.Iterations*cfg.Ranks+allreduceOps(cfg.Ranks))
 	entries := make([]goal.OpID, cfg.Ranks)
 	r := cfg.computeSource()
 	for i := 0; i < cfg.Ranks; i++ {
@@ -572,6 +597,7 @@ func RandomNeighbor(cfg RandomNeighborConfig) (*goal.Program, error) {
 	}
 	p := cfg.Ranks
 	b := goal.NewBuilder(p)
+	reserve(b, cfg.Iterations*p*(1+3*cfg.Pairings)) // calc + 2 forks + join per pairing
 	seqs := make([]*goal.Sequencer, p)
 	for i := range seqs {
 		seqs[i] = b.Seq(i)
