@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"checkpointsim/internal/service"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+// startServer brings up a real sweepd service for the loadtest to hit.
+func startServer(t *testing.T) string {
+	t.Helper()
+	s := service.New(service.Config{Version: "test", Timeout: time.Minute})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts.URL
+}
+
+// The happy path: a small schedule against a live sweepd verifies clean,
+// reports throughput and percentiles, and writes the JSON summary.
+func TestLoadtestVerifiesAgainstServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scenario simulations")
+	}
+	url := startServer(t)
+	path := filepath.Join(t.TempDir(), "load.json")
+	out, err := runCmd(t, "-url", url, "-points", "2", "-seed", "7", "-c", "2",
+		"-workloads", "sweep,cg", "-scales", "8", "-summary", path)
+	if err != nil {
+		t.Fatalf("loadtest: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"loadtest: 2 points (seed 7)",
+		"4 requests in",
+		"all 2 points verified byte-identical to local runs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, data)
+	}
+	if s.Points != 2 || s.Requests != 4 || s.Failures != 0 {
+		t.Errorf("summary = %+v, want 2 points / 4 requests / 0 failures", s)
+	}
+	if !(s.ThroughputRPS > 0) || !(s.P50Ms > 0) {
+		t.Errorf("summary missing rates: %+v", s)
+	}
+}
+
+// A server that 200s with the wrong bytes must fail verification — the
+// loadtest is a correctness harness first, a traffic generator second.
+func TestLoadtestDetectsWrongBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scenario simulations")
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Sweepd-Source", "hit")
+		w.Write([]byte(`{"not":"a result"}`))
+	}))
+	defer ts.Close()
+	out, err := runCmd(t, "-url", ts.URL, "-points", "1", "-seed", "7",
+		"-workloads", "sweep", "-scales", "8")
+	if err == nil {
+		t.Fatalf("loadtest accepted wrong bytes:\n%s", out)
+	}
+	if !strings.Contains(out, "response differs from local run") {
+		t.Errorf("no byte-mismatch FAIL line in:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "failed verification") {
+		t.Errorf("error = %v, want verification failure", err)
+	}
+}
+
+// 429 + integer Retry-After slows the loadtest down instead of failing
+// it: the client sleeps the hint and resubmits to the same server.
+func TestLoadtestHonorsRetryAfter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scenario simulations")
+	}
+	backend := startServer(t)
+	var throttled bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !throttled {
+			throttled = true
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		resp, err := http.Post(backend+r.URL.Path, r.Header.Get("Content-Type"), r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for _, h := range []string{"Content-Type", "X-Sweepd-Source"} {
+			if v := resp.Header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	defer proxy.Close()
+
+	out, err := runCmd(t, "-url", proxy.URL, "-points", "1", "-seed", "7", "-c", "1",
+		"-workloads", "sweep", "-scales", "8")
+	if err != nil {
+		t.Fatalf("loadtest under throttling: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "1 retried on 429") {
+		t.Errorf("retry count not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "all 1 points verified") {
+		t.Errorf("throttled point did not verify:\n%s", out)
+	}
+}
+
+// Flag validation fails fast, before any simulation work.
+func TestLoadtestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing url", []string{"-points", "1"}, "-url is required"},
+		{"bad points", []string{"-url", "http://x", "-points", "0"}, "-points must be"},
+		{"bad concurrency", []string{"-url", "http://x", "-c", "0"}, "-c must be"},
+		{"bad scales", []string{"-url", "http://x", "-scales", "eight"}, "bad -scales entry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := runCmd(t, tc.args...)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q\n%s", err, tc.want, out)
+			}
+		})
+	}
+}

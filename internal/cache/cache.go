@@ -1,7 +1,6 @@
 package cache
 
 import (
-	"container/list"
 	"context"
 	"sync"
 )
@@ -32,40 +31,39 @@ func (s Source) String() string {
 	return "unknown"
 }
 
-// Stats is a point-in-time snapshot of cache effectiveness counters.
+// Stats is a point-in-time snapshot of cache effectiveness counters,
+// merging the singleflight front (hits/misses/shared) with the backing
+// store's retention counters.
 type Stats struct {
-	Hits      int64 // GetOrCompute served from the cache
+	Hits      int64 // GetOrCompute served from the store
 	Misses    int64 // GetOrCompute ran fn (one per singleflight group)
 	Shared    int64 // GetOrCompute waited on a concurrent identical compute
 	Evictions int64 // entries dropped to fit the byte budget
-	Rejected  int64 // values larger than the whole budget, never admitted
+	Rejected  int64 // values the store declined to admit
 	Entries   int   // live entries
 	Bytes     int64 // live payload bytes
 	Budget    int64 // configured byte budget
+	DiskHits  int64 // store Gets served by a digest-verified disk read
+	Corrupt   int64 // disk records rejected by verification, never served
 }
 
-// Cache is a content-addressed byte cache with LRU eviction under a byte
-// budget and singleflight deduplication of concurrent computes. The zero
-// value is not usable; construct with New. All methods are safe for
+// Cache is a content-addressed byte cache with singleflight deduplication
+// of concurrent computes, fronting a pluggable Store (in-memory LRU by
+// default; append-only disk via NewDiskStore). The zero value is not
+// usable; construct with New or NewWithStore. All methods are safe for
 // concurrent use.
 //
 // Values are stored and returned by reference: callers must treat returned
 // slices as immutable. The service layer only ever serializes them onto
 // the wire, which keeps entries shareable across hits without copies.
 type Cache struct {
-	mu      sync.Mutex
-	budget  int64
-	bytes   int64
-	ll      *list.List // front = most recently used
-	entries map[string]*list.Element
-	calls   map[string]*call
-	stats   Stats
-}
+	store Store
 
-// entry is one resident value; list elements carry it through the LRU.
-type entry struct {
-	key string
-	val []byte
+	mu     sync.Mutex
+	calls  map[string]*call
+	hits   int64
+	misses int64
+	shared int64
 }
 
 // call is one in-flight computation that any number of followers wait on.
@@ -75,41 +73,27 @@ type call struct {
 	err  error
 }
 
-// New creates a cache holding at most budget payload bytes (a non-positive
-// budget admits nothing: every request computes, nothing is retained —
-// useful for disabling caching without changing call sites).
-func New(budget int64) *Cache {
-	if budget < 0 {
-		budget = 0
-	}
-	return &Cache{
-		budget:  budget,
-		ll:      list.New(),
-		entries: make(map[string]*list.Element),
-		calls:   make(map[string]*call),
-	}
+// New creates a cache over an in-memory LRU store holding at most budget
+// payload bytes (a non-positive budget admits nothing: every request
+// computes, nothing is retained).
+func New(budget int64) *Cache { return NewWithStore(NewMemStore(budget)) }
+
+// NewWithStore creates a cache fronting the given backend.
+func NewWithStore(store Store) *Cache {
+	return &Cache{store: store, calls: make(map[string]*call)}
 }
 
-// Get returns the cached value for key, if resident, and marks it
-// recently used. It never joins an in-flight compute.
-func (c *Cache) Get(key string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		return nil, false
-	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*entry).val, true
-}
+// Get returns the cached value for key, if resident. It never joins an
+// in-flight compute.
+func (c *Cache) Get(key string) ([]byte, bool) { return c.store.Get(key) }
 
 // GetOrCompute returns the value for key, running fn at most once across
 // all concurrent callers of the same key. A resident value is returned
 // immediately (Hit). Otherwise the first caller becomes the leader and
 // runs fn; concurrent callers for the same key block and share the
 // leader's result (Shared) — success or error — without running fn.
-// Successful results are admitted to the cache under the byte budget;
-// errors are never cached, so a failed key recomputes on the next request.
+// Successful results are offered to the store; errors are never cached, so
+// a failed key recomputes on the next request.
 //
 // ctx cancels waiting, not computing: a follower whose ctx dies returns
 // ctx.Err() while the leader's fn runs on. fn receives the leader's ctx
@@ -117,15 +101,16 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 // (internal/exp threads it into the sweep worker pool).
 func (c *Cache) GetOrCompute(ctx context.Context, key string, fn func(ctx context.Context) ([]byte, error)) ([]byte, Source, error) {
 	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
-		c.stats.Hits++
-		val := el.Value.(*entry).val
+	// The store lookup happens under c.mu so a leader between "fn done" and
+	// "value admitted" cannot race a follower into a duplicate compute: the
+	// leader admits to the store before releasing its call slot.
+	if val, ok := c.store.Get(key); ok {
+		c.hits++
 		c.mu.Unlock()
 		return val, Hit, nil
 	}
 	if cl, ok := c.calls[key]; ok {
-		c.stats.Shared++
+		c.shared++
 		c.mu.Unlock()
 		select {
 		case <-cl.done:
@@ -136,62 +121,36 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, fn func(ctx contex
 	}
 	cl := &call{done: make(chan struct{})}
 	c.calls[key] = cl
-	c.stats.Misses++
+	c.misses++
 	c.mu.Unlock()
 
 	cl.val, cl.err = fn(ctx)
 	close(cl.done)
 
 	c.mu.Lock()
-	delete(c.calls, key)
 	if cl.err == nil {
-		c.admit(key, cl.val)
+		c.store.Put(key, cl.val)
 	}
+	delete(c.calls, key)
 	c.mu.Unlock()
 	return cl.val, Computed, cl.err
-}
-
-// admit inserts a computed value, evicting from the cold end until the
-// budget holds. Values larger than the entire budget are rejected rather
-// than flushing everything else for a single unpinnable entry. Callers
-// hold c.mu.
-func (c *Cache) admit(key string, val []byte) {
-	size := int64(len(val))
-	if size > c.budget {
-		c.stats.Rejected++
-		return
-	}
-	if el, ok := c.entries[key]; ok {
-		// A racing leader for the same key already landed (possible when a
-		// failed compute releases the singleflight slot before retry):
-		// refresh in place.
-		c.bytes += size - int64(len(el.Value.(*entry).val))
-		el.Value.(*entry).val = val
-		c.ll.MoveToFront(el)
-	} else {
-		c.entries[key] = c.ll.PushFront(&entry{key: key, val: val})
-		c.bytes += size
-	}
-	for c.bytes > c.budget {
-		back := c.ll.Back()
-		if back == nil {
-			break
-		}
-		e := back.Value.(*entry)
-		c.ll.Remove(back)
-		delete(c.entries, e.key)
-		c.bytes -= int64(len(e.val))
-		c.stats.Evictions++
-	}
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = len(c.entries)
-	s.Bytes = c.bytes
-	s.Budget = c.budget
+	s := Stats{Hits: c.hits, Misses: c.misses, Shared: c.shared}
+	c.mu.Unlock()
+	ss := c.store.Stats()
+	s.Evictions = ss.Evictions
+	s.Rejected = ss.Rejected
+	s.Entries = ss.Entries
+	s.Bytes = ss.Bytes
+	s.Budget = ss.Budget
+	s.DiskHits = ss.DiskHits
+	s.Corrupt = ss.Corrupt
 	return s
 }
+
+// Close releases the backing store's resources.
+func (c *Cache) Close() error { return c.store.Close() }

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"bytes"
 	"sort"
 	"testing"
 )
@@ -73,4 +74,57 @@ func FuzzCacheKey(f *testing.F) {
 			t.Fatalf("duplicate field aliased away for %q", setA)
 		}
 	})
+}
+
+// FuzzDiskCacheRecord drives the disk backend's record codec with
+// arbitrary bytes through two doors:
+//
+//  1. Raw input as a record — decode must reject or return something a
+//     re-encode reproduces exactly (no panic, no misattributed bytes).
+//  2. Input as a (key, value) pair — encode/decode must round-trip
+//     byte-identically, and any single-byte corruption of the encoded
+//     record must be rejected (the Seal digest covers every byte).
+func FuzzDiskCacheRecord(f *testing.F) {
+	f.Add([]byte("CKSNAP1\n"), []byte("key"))
+	f.Add(EncodeDiskRecord("k", []byte("v")), []byte(""))
+	f.Add([]byte{}, []byte{0, 1, 2, 255})
+	f.Fuzz(func(t *testing.T, raw, val []byte) {
+		if key, gotVal, err := DecodeDiskRecord(raw); err == nil {
+			// Accepting arbitrary bytes is only sound if they are exactly
+			// a well-formed record for what was decoded.
+			if !bytes.Equal(EncodeDiskRecord(key, gotVal), raw) {
+				t.Fatalf("decoder accepted %d bytes that re-encode differently", len(raw))
+			}
+		}
+
+		key := string(raw)
+		if len(key) > 256 {
+			key = key[:256]
+		}
+		rec := EncodeDiskRecord(key, val)
+		gotKey, gotVal, err := DecodeDiskRecord(rec)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if gotKey != key || !bytes.Equal(gotVal, val) {
+			t.Fatalf("round trip mutated record: key %q->%q, %d->%d value bytes",
+				key, gotKey, len(val), len(gotVal))
+		}
+		if len(rec) > 0 {
+			flipped := append([]byte(nil), rec...)
+			flipped[val2byte(val)%uint(len(flipped))] ^= 0x01
+			if _, _, err := DecodeDiskRecord(flipped); err == nil {
+				t.Fatal("single-bit corruption accepted")
+			}
+		}
+	})
+}
+
+// val2byte derives a deterministic flip position from the fuzzed value.
+func val2byte(val []byte) uint {
+	var h uint = 2166136261
+	for _, b := range val {
+		h = (h ^ uint(b)) * 16777619
+	}
+	return h
 }

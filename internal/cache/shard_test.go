@@ -1,0 +1,87 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+var clusterNodes = []string{
+	"http://w0:8080", "http://w1:8080", "http://w2:8080", "http://w3:8080",
+}
+
+// Rendezvous picks every node for some keys (no starvation) and spreads a
+// key population roughly evenly — the property that makes it a shard
+// function rather than a hash ring curiosity.
+func TestPickNodeDistribution(t *testing.T) {
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[PickNode(fmt.Sprintf("key-%d", i), clusterNodes)]++
+	}
+	for _, n := range clusterNodes {
+		got := counts[n]
+		// Fair share is 1000; loose band catches gross skew, not variance.
+		if got < keys/len(clusterNodes)/2 || got > keys/len(clusterNodes)*2 {
+			t.Errorf("node %s owns %d of %d keys, outside [500, 2000]", n, got, keys)
+		}
+	}
+}
+
+// Removing one node remaps only that node's keys: everyone else keeps
+// their shard, which is what keeps worker caches warm across a death.
+func TestPickNodeMinimalRemap(t *testing.T) {
+	survivors := clusterNodes[:3]
+	dead := clusterNodes[3]
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := PickNode(key, clusterNodes)
+		after := PickNode(key, survivors)
+		if before != dead && after != before {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", key, before, after)
+		}
+		if before == dead && after == dead {
+			t.Fatalf("key %s still assigned to the removed node", key)
+		}
+	}
+}
+
+// Membership order never matters: the winner is a function of the set.
+func TestPickNodeOrderIndependent(t *testing.T) {
+	reversed := []string{clusterNodes[3], clusterNodes[2], clusterNodes[1], clusterNodes[0]}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if PickNode(key, clusterNodes) != PickNode(key, reversed) {
+			t.Fatalf("key %s: winner depends on membership order", key)
+		}
+	}
+}
+
+func TestPickNodeEmpty(t *testing.T) {
+	if got := PickNode("k", nil); got != "" {
+		t.Errorf("PickNode over empty set = %q, want \"\"", got)
+	}
+}
+
+// RankNodes heads with PickNode's winner and behaves as iterated removal:
+// dropping the primary promotes exactly the second-ranked node.
+func TestRankNodesFailoverOrder(t *testing.T) {
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		ranked := RankNodes(key, clusterNodes)
+		if len(ranked) != len(clusterNodes) {
+			t.Fatalf("ranking lost nodes: %v", ranked)
+		}
+		if ranked[0] != PickNode(key, clusterNodes) {
+			t.Fatalf("key %s: ranked[0]=%s != PickNode=%s", key, ranked[0], PickNode(key, clusterNodes))
+		}
+		var without []string
+		for _, n := range clusterNodes {
+			if n != ranked[0] {
+				without = append(without, n)
+			}
+		}
+		if ranked[1] != PickNode(key, without) {
+			t.Fatalf("key %s: ranked[1]=%s is not the failover winner %s", key, ranked[1], PickNode(key, without))
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Store is a pluggable persistence backend behind Cache: a keyed byte
+// store with its own admission and retention policy. The singleflight and
+// hit/miss accounting live in Cache; a Store only answers "is this key
+// resident" and "keep this value if you can". Implementations must be safe
+// for concurrent use and must never return bytes that differ from what Put
+// stored — a backend that cannot prove integrity (disk, network) must
+// verify on read and report a miss rather than serve doubtful bytes.
+type Store interface {
+	// Get returns the stored value for key, if resident. Returned slices
+	// are treated as immutable by callers.
+	Get(key string) ([]byte, bool)
+	// Put offers a value for retention. A store may decline (budget,
+	// capacity) — Put is an admission request, not a durability contract.
+	Put(key string, val []byte)
+	// Stats returns a snapshot of the store's retention counters.
+	Stats() StoreStats
+	// Close releases resources (file handles). The store is unusable after.
+	Close() error
+}
+
+// StoreStats is a point-in-time snapshot of a Store's retention counters.
+// Memory stores leave the Disk* fields zero.
+type StoreStats struct {
+	Entries   int   // live entries
+	Bytes     int64 // live payload bytes (disk stores: file bytes)
+	Budget    int64 // configured byte budget
+	Evictions int64 // entries dropped to fit the budget
+	Rejected  int64 // values declined admission (oversized or budget full)
+	DiskHits  int64 // Gets served by a digest-verified disk read
+	Corrupt   int64 // disk records rejected by verification, never served
+}
+
+// MemStore is the in-memory LRU backend: values under a byte budget,
+// coldest evicted first. This is the store cmd/sweepd runs by default — it
+// is exactly the PR-5 cache retention policy behind the Store interface.
+type MemStore struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	stats   StoreStats
+}
+
+// entry is one resident value; list elements carry it through the LRU.
+type entry struct {
+	key string
+	val []byte
+}
+
+// NewMemStore creates an LRU store holding at most budget payload bytes (a
+// non-positive budget admits nothing: every request computes, nothing is
+// retained — useful for disabling caching without changing call sites).
+func NewMemStore(budget int64) *MemStore {
+	if budget < 0 {
+		budget = 0
+	}
+	return &MemStore{
+		budget:  budget,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the resident value for key and marks it recently used.
+func (m *MemStore) Get(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[key]
+	if !ok {
+		return nil, false
+	}
+	m.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put admits a value, evicting from the cold end until the budget holds.
+// Values larger than the entire budget are rejected rather than flushing
+// everything else for a single unpinnable entry.
+func (m *MemStore) Put(key string, val []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	size := int64(len(val))
+	if size > m.budget {
+		m.stats.Rejected++
+		return
+	}
+	if el, ok := m.entries[key]; ok {
+		// A racing leader for the same key already landed (possible when a
+		// failed compute releases the singleflight slot before retry):
+		// refresh in place.
+		m.bytes += size - int64(len(el.Value.(*entry).val))
+		el.Value.(*entry).val = val
+		m.ll.MoveToFront(el)
+	} else {
+		m.entries[key] = m.ll.PushFront(&entry{key: key, val: val})
+		m.bytes += size
+	}
+	for m.bytes > m.budget {
+		back := m.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		m.ll.Remove(back)
+		delete(m.entries, e.key)
+		m.bytes -= int64(len(e.val))
+		m.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the retention counters.
+func (m *MemStore) Stats() StoreStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Entries = len(m.entries)
+	s.Bytes = m.bytes
+	s.Budget = m.budget
+	return s
+}
+
+// Close is a no-op for the memory store.
+func (m *MemStore) Close() error { return nil }

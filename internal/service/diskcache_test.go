@@ -1,0 +1,125 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"checkpointsim/internal/cache"
+)
+
+// flipMiddleByte doctors the store's single log file with a one-bit flip
+// halfway in — inside the sealed record body, past the length prefix.
+func flipMiddleByte(t *testing.T, dir string) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("expected one log file in %s: %v %v", dir, files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newDiskBackedServer builds a server over a DiskStore in dir, as
+// cmd/sweepd -cache-dir does.
+func newDiskBackedServer(t *testing.T, dir string) (*Server, string) {
+	t.Helper()
+	st, err := cache.NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{CacheStore: st})
+	return srv, ts.URL
+}
+
+// TestServiceDiskCacheSurvivesRestart: the restart byte-identity contract
+// at the service boundary. A result computed before a clean shutdown is
+// served byte-identical by the next process as a cache hit from disk — no
+// recomputation — and the disk-hit counter reaches the metrics endpoint.
+func TestServiceDiskCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	const body = `{"exp":"E1","quick":true}`
+
+	srv1, url1 := newDiskBackedServer(t, dir)
+	resp := postJSON(t, url1+"/api/v1/run", body)
+	first := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d: %s", resp.StatusCode, first)
+	}
+	if src := resp.Header.Get("X-Sweepd-Source"); src != "computed" {
+		t.Fatalf("first run source = %q, want computed", src)
+	}
+	srv1.Close() // syncs and releases the log; the httptest cleanup re-Close is a no-op
+
+	srv2, url2 := newDiskBackedServer(t, dir)
+	resp = postJSON(t, url2+"/api/v1/run", body)
+	second := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart run: status %d: %s", resp.StatusCode, second)
+	}
+	if src := resp.Header.Get("X-Sweepd-Source"); src != "hit" {
+		t.Errorf("post-restart source = %q, want hit (warm from disk)", src)
+	}
+	if !bytes.Equal(second, first) {
+		t.Fatalf("restart broke byte identity:\n--- before ---\n%s\n--- after ---\n%s", first, second)
+	}
+	if ev := srv2.SimEvents(); ev != 0 {
+		t.Errorf("restarted server executed %d events for a warm key, want 0", ev)
+	}
+
+	metrics := scrape(t, url2+"/metrics")
+	for _, want := range []string{
+		"sweepd_cache_disk_hits_total 1",
+		"sweepd_cache_disk_corrupt_total 0",
+		"sweepd_cache_hits_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestServiceDiskCacheCorruptFallsBackToCompute: a doctored log record is
+// detected at read time and the point recomputes — same bytes out, one
+// corrupt-record count, never the damaged payload.
+func TestServiceDiskCacheCorruptFallsBackToCompute(t *testing.T) {
+	dir := t.TempDir()
+	const body = `{"exp":"E1","quick":true}`
+
+	srv1, url1 := newDiskBackedServer(t, dir)
+	resp := postJSON(t, url1+"/api/v1/run", body)
+	first := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d: %s", resp.StatusCode, first)
+	}
+	srv1.Close()
+
+	// Doctor one byte in the middle of the log — inside the sealed record.
+	flipMiddleByte(t, dir)
+
+	_, url2 := newDiskBackedServer(t, dir)
+	resp = postJSON(t, url2+"/api/v1/run", body)
+	second := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-corruption run: status %d: %s", resp.StatusCode, second)
+	}
+	if src := resp.Header.Get("X-Sweepd-Source"); src != "computed" {
+		t.Errorf("post-corruption source = %q, want computed (the damaged record must not serve)", src)
+	}
+	if !bytes.Equal(second, first) {
+		t.Fatalf("recomputed bytes differ from the original run")
+	}
+	metrics := scrape(t, url2+"/metrics")
+	if !strings.Contains(metrics, "sweepd_cache_disk_corrupt_total 1") {
+		t.Errorf("metrics missing the corrupt-record count:\n%s", metrics)
+	}
+}

@@ -1,0 +1,247 @@
+package service
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DLQ state machine (see DESIGN.md S27):
+//
+//	dispatch fails retryably ──► retrying ──(success)──► removed
+//	                               │  ▲
+//	                  (attempts    │  │ POST /api/v1/dlq/{id}/requeue
+//	                   exhausted)  ▼  │
+//	                             parked
+//
+// An entry exists only while its point is in trouble: on a healthy
+// cluster the queue drains to zero, which is exactly what the chaos
+// suite asserts. Parked entries are the dead letters proper — kept for
+// inspection and manual requeue; retrying entries are the visible tail
+// of automatic recovery in flight.
+
+// DLQState is the lifecycle of a dead-letter entry.
+type DLQState string
+
+const (
+	// DLQRetrying: the coordinator is re-dispatching with backoff.
+	DLQRetrying DLQState = "retrying"
+	// DLQParked: bounded retries exhausted; waits for a manual requeue.
+	DLQParked DLQState = "parked"
+)
+
+// DLQEntry is the wire form of one dead-letter entry (GET /api/v1/dlq).
+type DLQEntry struct {
+	ID  string `json:"id"`
+	Key string `json:"key"` // the point's cache key: stable across retries
+	// Spec names what failed: the experiment ID or scenario spec string.
+	Spec        string    `json:"spec"`
+	State       DLQState  `json:"state"`
+	Attempts    int       `json:"attempts"`
+	MaxAttempts int       `json:"max_attempts"`
+	LastError   string    `json:"last_error,omitempty"`
+	NextRetry   time.Time `json:"next_retry"`
+	Created     time.Time `json:"created"`
+}
+
+// dlqEntry is the live entry behind a DLQEntry snapshot. The request is
+// re-marshaled on every dispatch so a freshly shipped snapshot blob rides
+// along. done closes exactly once, the first time the entry settles —
+// recovered (result set) or parked (result nil) — releasing the sync
+// handler that bore the original failure plus any identical requests that
+// piled up behind it. A requeued entry that later recovers settles again
+// with no waiters to wake, which is fine: settleOnce keeps the channel
+// single-shot and the maps are authoritative for listing.
+type dlqEntry struct {
+	id      string
+	key     string
+	spec    string
+	req     SweepRequest
+	created time.Time
+
+	mu        sync.Mutex
+	state     DLQState
+	attempts  int
+	lastErr   string
+	nextRetry time.Time
+	result    *proxyResult
+
+	settleOnce sync.Once
+	done       chan struct{}
+}
+
+func (e *dlqEntry) snapshot(max int) DLQEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := DLQEntry{
+		ID: e.id, Key: e.key, Spec: e.spec, State: e.state,
+		Attempts: e.attempts, MaxAttempts: max,
+		LastError: e.lastErr, Created: e.created,
+	}
+	if e.state == DLQRetrying {
+		out.NextRetry = e.nextRetry
+	}
+	return out
+}
+
+// noteAttempt records the start of attempt n and when the next one would
+// be due if this one fails.
+func (e *dlqEntry) noteAttempt(n int, next time.Time) {
+	e.mu.Lock()
+	e.attempts = n
+	e.nextRetry = next
+	e.mu.Unlock()
+}
+
+// noteError records a failed attempt's error.
+func (e *dlqEntry) noteError(msg string) {
+	e.mu.Lock()
+	e.lastErr = msg
+	e.mu.Unlock()
+}
+
+// settle publishes the terminal outcome of this recovery cycle (res nil
+// means parked) and wakes waiters, once.
+func (e *dlqEntry) settle(res *proxyResult) {
+	e.settleOnce.Do(func() {
+		e.mu.Lock()
+		e.result = res
+		e.mu.Unlock()
+		close(e.done)
+	})
+}
+
+// outcome reads the settled result (nil when the entry parked).
+func (e *dlqEntry) outcome() *proxyResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.result
+}
+
+// dlq is the coordinator's dead-letter queue: entries indexed by id, with
+// at most one live retrying entry per cache key so identical failing
+// points share one recovery loop instead of stampeding the survivors.
+type dlq struct {
+	mu     sync.Mutex
+	nextID int
+	byID   map[string]*dlqEntry
+	byKey  map[string]*dlqEntry
+}
+
+func newDLQ() *dlq {
+	return &dlq{byID: make(map[string]*dlqEntry), byKey: make(map[string]*dlqEntry)}
+}
+
+// enter returns the live entry for key, creating one if none exists. The
+// second return is true when this call created the entry — the creator
+// owns the retry loop; joiners just wait on done.
+func (q *dlq) enter(key, spec string, req SweepRequest, now time.Time) (*dlqEntry, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if e, ok := q.byKey[key]; ok {
+		return e, false
+	}
+	q.nextID++
+	e := &dlqEntry{
+		id: "dlq" + strconv.Itoa(q.nextID), key: key, spec: spec, req: req,
+		created: now, state: DLQRetrying, done: make(chan struct{}),
+	}
+	q.byID[e.id] = e
+	q.byKey[key] = e
+	return e, true
+}
+
+// resolve removes a recovered entry and publishes its result to waiters.
+func (q *dlq) resolve(e *dlqEntry, res *proxyResult) {
+	q.mu.Lock()
+	delete(q.byID, e.id)
+	if q.byKey[e.key] == e {
+		delete(q.byKey, e.key)
+	}
+	q.mu.Unlock()
+	e.settle(res)
+}
+
+// park marks an entry's retries exhausted and releases its waiters with a
+// nil result. The key slot is freed — a parked letter must not absorb
+// fresh submissions of the same point into silence — but the entry stays
+// listed by id until requeued or the coordinator restarts.
+func (q *dlq) park(e *dlqEntry, lastErr string) {
+	q.mu.Lock()
+	if q.byKey[e.key] == e {
+		delete(q.byKey, e.key)
+	}
+	q.mu.Unlock()
+	e.mu.Lock()
+	e.state = DLQParked
+	e.lastErr = lastErr
+	e.nextRetry = time.Time{}
+	e.mu.Unlock()
+	e.settle(nil)
+}
+
+// requeue flips a parked entry back to retrying with a fresh attempt
+// budget. Returns false when no parked entry has this id (the caller's
+// 404/409). If a newer live entry owns the key meanwhile, the requeued
+// one still retries — worst case both recover and resolve idempotently.
+func (q *dlq) requeue(id string, now time.Time) (*dlqEntry, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.byID[id]
+	if !ok {
+		return nil, false
+	}
+	e.mu.Lock()
+	parked := e.state == DLQParked
+	if parked {
+		e.state = DLQRetrying
+		e.attempts = 0
+		e.lastErr = ""
+		e.nextRetry = now
+	}
+	e.mu.Unlock()
+	if !parked {
+		return nil, false
+	}
+	if _, taken := q.byKey[e.key]; !taken {
+		q.byKey[e.key] = e
+	}
+	return e, true
+}
+
+// list snapshots every entry, oldest first.
+func (q *dlq) list(max int) []DLQEntry {
+	q.mu.Lock()
+	entries := make([]*dlqEntry, 0, len(q.byID))
+	for _, e := range q.byID {
+		entries = append(entries, e)
+	}
+	q.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		// Numeric id order; the ids share the "dlq" prefix.
+		return len(entries[i].id) < len(entries[j].id) ||
+			(len(entries[i].id) == len(entries[j].id) && entries[i].id < entries[j].id)
+	})
+	out := make([]DLQEntry, len(entries))
+	for i, e := range entries {
+		out[i] = e.snapshot(max)
+	}
+	return out
+}
+
+// depth counts live entries by state.
+func (q *dlq) depth() (retrying, parked int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, e := range q.byID {
+		e.mu.Lock()
+		if e.state == DLQParked {
+			parked++
+		} else {
+			retrying++
+		}
+		e.mu.Unlock()
+	}
+	return retrying, parked
+}

@@ -49,6 +49,12 @@ type SweepRequest struct {
 	Storage *StorageRequest `json:"storage,omitempty"`
 	// TimeoutSec caps the job's runtime (0 = the server's default).
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Resume is a sealed mid-run simulator snapshot (sim.Snapshot.Blob,
+	// base64 on the wire) to resume a Scenario job from, shipped by a
+	// coordinator re-dispatching a dead worker's job. It is a pure
+	// execution hint: it never enters the cache key, and a blob that fails
+	// to restore falls back to a cold run. Only valid with Scenario.
+	Resume []byte `json:"resume_b64,omitempty"`
 }
 
 // StorageRequest mirrors cmd/sweep's storage flags, in GB/s.
@@ -108,6 +114,9 @@ func (req SweepRequest) resolve() (exp.Experiment, exp.Options, error) {
 		}
 		e = ScenarioExperiment(*sc)
 	} else {
+		if req.Resume != nil {
+			return exp.Experiment{}, exp.Options{}, badf("resume_b64 applies only to scenario requests")
+		}
 		if req.Exp == "" {
 			return exp.Experiment{}, exp.Options{}, badf("missing experiment id")
 		}

@@ -36,6 +36,13 @@ type Config struct {
 	// CacheBytes is the result cache budget (default 256 MiB; negative
 	// disables caching, 0 selects the default).
 	CacheBytes int64
+	// CacheStore, when non-nil, is the cache's persistence backend and
+	// CacheBytes is ignored (the store was built with its own budget). This
+	// is the storage-plugin seam: cmd/sweepd passes a cache.DiskStore here
+	// for -cache-dir, so warm results survive restarts; tests pass
+	// purpose-built stores. The server owns the store from here on and
+	// closes it in Close.
+	CacheStore cache.Store
 	// Timeout is the default and maximum per-job runtime (default 10m).
 	Timeout time.Duration
 	// Version tags cache keys with the code build (default "dev"): results
@@ -53,8 +60,17 @@ type Config struct {
 	// short simulations, and its natural unit of retry is the point.
 	SnapshotDir string
 	// SnapshotEvery is the event cadence for scenario-job snapshots
-	// (default 100000; only meaningful with SnapshotDir).
+	// (default 100000; only meaningful with SnapshotDir or
+	// PublishSnapshot).
 	SnapshotEvery int64
+	// PublishSnapshot, when non-nil, receives every scenario-job snapshot
+	// (cache key + sealed blob) as it is taken, in addition to any local
+	// SnapshotDir persistence. A cluster worker points this at its
+	// coordinator so that if the worker dies, the coordinator can ship the
+	// last blob to whichever worker inherits the job. The callback runs on
+	// the job's goroutine between simulation events — implementations that
+	// talk to the network should hand the blob off asynchronously.
+	PublishSnapshot func(key string, blob []byte)
 }
 
 func (c Config) withDefaults() Config {
@@ -122,9 +138,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	c := cache.New(cfg.CacheBytes)
+	if cfg.CacheStore != nil {
+		c = cache.NewWithStore(cfg.CacheStore)
+	}
 	s := &Server{
 		cfg:        cfg,
-		cache:      cache.New(cfg.CacheBytes),
+		cache:      c,
 		reg:        newRegistry(cfg.MaxJobs),
 		queue:      make(chan *Job, cfg.Queue),
 		baseCtx:    ctx,
@@ -186,12 +206,15 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Close shuts down immediately: running jobs are cancelled.
+// Close shuts down immediately: running jobs are cancelled and the cache's
+// backing store is released (a disk-backed store syncs its log here, so
+// what was cached is warm on the next start).
 func (s *Server) Close() {
 	s.baseCancel()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	s.Drain(ctx)
+	s.cache.Close()
 }
 
 // submit validates, registers, and enqueues a job. jobCtx is the context
@@ -269,29 +292,47 @@ func (s *Server) runJob(job *Job) {
 		opts.Ctx = ctx
 		opts.Jobs = s.cfg.JobsPerRun
 		opts.Events = &events
-		if s.snaps != nil && job.Req.Scenario != nil {
+		if job.Req.Scenario != nil && (s.snaps != nil || s.cfg.PublishSnapshot != nil) {
 			// Persist the latest snapshot as the simulation progresses; a
-			// server killed mid-run leaves the blob behind, and the next
-			// submission of this job (same key) resumes from it.
+			// server killed mid-run leaves the blob behind (and/or at the
+			// coordinator), and the next submission of this job (same key)
+			// resumes from it.
 			opts.SnapshotEvery = s.cfg.SnapshotEvery
 			opts.OnSnapshot = func(snap sim.Snapshot) {
-				if serr := s.snaps.save(key, snap.Blob); serr != nil {
-					s.snapErrors.Inc()
-					return
+				if s.snaps != nil {
+					if serr := s.snaps.save(key, snap.Blob); serr != nil {
+						s.snapErrors.Inc()
+					} else {
+						s.snapsTaken.Inc()
+					}
 				}
-				s.snapsTaken.Inc()
+				if s.cfg.PublishSnapshot != nil {
+					s.cfg.PublishSnapshot(key, snap.Blob)
+				}
 			}
-			if blob := s.snaps.load(key); blob != nil {
+		}
+		if job.Req.Scenario != nil {
+			// A blob shipped in the request (a coordinator re-dispatching a
+			// dead worker's job) outranks the local store: it is the most
+			// recent boundary anyone persisted for this key.
+			if blob := job.Req.Resume; blob != nil {
 				opts.ResumeFrom = blob
 				s.jobResumes.Inc()
+			} else if s.snaps != nil {
+				if blob := s.snaps.load(key); blob != nil {
+					opts.ResumeFrom = blob
+					s.jobResumes.Inc()
+				}
 			}
 		}
 		tables, err := e.Run(opts)
 		if err != nil && opts.ResumeFrom != nil && ctx.Err() == nil {
-			// The persisted snapshot did not carry the run (corrupt blob,
-			// or written by an incompatible build): discard it and run
-			// cold. Resume is an optimization, never a dependency.
-			s.snaps.drop(key)
+			// The snapshot did not carry the run (corrupt blob, or written
+			// by an incompatible build): discard it and run cold. Resume is
+			// an optimization, never a dependency.
+			if s.snaps != nil {
+				s.snaps.drop(key)
+			}
 			s.coldRetries.Inc()
 			opts.ResumeFrom = nil
 			tables, err = e.Run(opts)
@@ -456,13 +497,43 @@ func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	}
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// Health is the /healthz body: liveness plus the load signals a
+// coordinator folds into its cross-shard Retry-After estimate. Depth and
+// capacity describe the job queue; MeanJobSeconds is 0 until a job has
+// completed.
+type Health struct {
+	Status         string  `json:"status"` // "ok", or "draining" (with 503)
+	QueueDepth     int     `json:"queue_depth"`
+	QueueCapacity  int     `json:"queue_capacity"`
+	Running        int     `json:"running"`
+	Workers        int     `json:"workers"`
+	MeanJobSeconds float64 `json:"mean_job_seconds"`
+}
+
+func (s *Server) health() Health {
+	h := Health{
+		Status:        "ok",
+		QueueDepth:    int(s.queueDepth.Value()),
+		QueueCapacity: s.cfg.Queue,
+		Running:       int(s.running.Value()),
+		Workers:       s.cfg.Workers,
+	}
+	if mean := s.jobLat.Mean(); !math.IsNaN(mean) && mean > 0 {
+		h.MeanJobSeconds = mean
+	}
 	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		h.Status = "draining"
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	if h.Status != "ok" {
+		writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -740,6 +811,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("sweepd_cache_bytes %d\n", cs.Bytes)
 	p("# TYPE sweepd_cache_budget_bytes gauge\n")
 	p("sweepd_cache_budget_bytes %d\n", cs.Budget)
+	p("# HELP sweepd_cache_disk_hits_total Store lookups served by a digest-verified disk read (disk-backed stores only).\n")
+	p("# TYPE sweepd_cache_disk_hits_total counter\n")
+	p("sweepd_cache_disk_hits_total %d\n", cs.DiskHits)
+	p("# HELP sweepd_cache_disk_corrupt_total Disk cache records rejected by verification instead of being served.\n")
+	p("# TYPE sweepd_cache_disk_corrupt_total counter\n")
+	p("sweepd_cache_disk_corrupt_total %d\n", cs.Corrupt)
 
 	writeLatency := func(name string, h *stats.LatencyHist) {
 		p("# HELP %s Latency quantiles (log-binned histogram).\n", name)

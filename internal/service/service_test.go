@@ -83,14 +83,24 @@ func waitTerminal(t *testing.T, base, id string, within time.Duration) JobStatus
 }
 
 func TestHealthz(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, Config{Workers: 3, Queue: 7})
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	body := readBody(t, resp)
-	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
-		t.Errorf("healthz: %d %q, want 200 ok", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d %q, want 200", resp.StatusCode, body)
+	}
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz body %q: %v", body, err)
+	}
+	if h.Status != "ok" || h.Workers != 3 || h.QueueCapacity != 7 || h.QueueDepth != 0 {
+		t.Errorf("healthz = %+v, want ok with 3 workers, capacity 7, depth 0", h)
+	}
+	if h.MeanJobSeconds != 0 {
+		t.Errorf("idle server reports mean job seconds %v", h.MeanJobSeconds)
 	}
 }
 
